@@ -1,0 +1,87 @@
+"""Fig. 11: speedups brought by STLT and SLB on Redis, nine workloads.
+
+Paper reference (zipf/latest/uniform x 64/128/256 B values): STLT brings
+1.38x on average (up to ~1.4x), consistently above SLB; gains are larger
+on the low-locality distributions (uniform, zipf) than on latest.
+"""
+
+from benchmarks.common import (
+    bench_config,
+    print_figure,
+    run_cached,
+    run_once,
+    speedup_of,
+)
+from repro.sim.results import geomean
+
+DISTRIBUTIONS = ("zipf", "latest", "uniform")
+VALUE_SIZES = (64, 128, 256)
+
+
+def _run_workload(distribution, value_size):
+    runs = {}
+    for frontend in ("baseline", "slb", "stlt"):
+        config = bench_config(program="redis", frontend=frontend,
+                              distribution=distribution,
+                              value_size=value_size)
+        runs[frontend] = run_cached(config)
+    return runs
+
+
+def test_fig11_redis_speedups(benchmark):
+    def run_all():
+        return {
+            (d, v): _run_workload(d, v)
+            for d in DISTRIBUTIONS for v in VALUE_SIZES
+        }
+
+    all_runs = run_once(benchmark, run_all)
+
+    rows = []
+    stlt_speedups = []
+    slb_speedups = []
+    for (dist, size), runs in all_runs.items():
+        slb = speedup_of(runs["baseline"], runs["slb"])
+        stlt = speedup_of(runs["baseline"], runs["stlt"])
+        slb_speedups.append(slb)
+        stlt_speedups.append(stlt)
+        rows.append([f"{dist}-{size}B", f"{slb:.2f}x", f"{stlt:.2f}x"])
+    rows.append(["geomean", f"{geomean(slb_speedups):.2f}x",
+                 f"{geomean(stlt_speedups):.2f}x"])
+    print_figure(
+        "Fig. 11 — Redis speedups by SLB and STLT (9 workloads)",
+        ["workload", "SLB", "STLT"],
+        rows,
+        notes=[
+            "paper: STLT avg 1.38x, always above SLB;"
+            " largest gains on zipf/uniform",
+        ],
+    )
+
+    # shape assertions
+    for (dist, size), runs in all_runs.items():
+        slb = speedup_of(runs["baseline"], runs["slb"])
+        stlt = speedup_of(runs["baseline"], runs["stlt"])
+        assert stlt > 1.0, f"STLT must speed up {dist}-{size}B"
+        assert stlt > slb, f"STLT must beat SLB on {dist}-{size}B"
+    mean = geomean(stlt_speedups)
+    assert 1.1 < mean < 2.2, f"mean Redis speedup {mean:.2f} out of band"
+
+
+def test_fig11_record_size_has_little_effect(benchmark):
+    """Paper: 'Record size has little effect on both STLT and SLB.'"""
+
+    def run_sizes():
+        return {v: _run_workload("zipf", v) for v in VALUE_SIZES}
+
+    runs = run_once(benchmark, run_sizes)
+    speedups = [speedup_of(runs[v]["baseline"], runs[v]["stlt"])
+                for v in VALUE_SIZES]
+    spread = max(speedups) - min(speedups)
+    print_figure(
+        "Fig. 11 (detail) — value-size sensitivity of the STLT speedup",
+        ["value size", "STLT speedup"],
+        [[f"{v}B", f"{s:.2f}x"] for v, s in zip(VALUE_SIZES, speedups)],
+        notes=[f"spread across sizes: {spread:.2f}"],
+    )
+    assert spread < 0.5, "record size must have only a modest effect"

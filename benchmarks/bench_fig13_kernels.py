@@ -1,0 +1,82 @@
+"""Fig. 13: STLT and SLB speedups on the four kernel benchmarks.
+
+Paper reference (128 B and 256 B records, three distributions): on the
+hash-table kernels SLB averages 1.70x and STLT 2.42x (up to 2.6-2.9x on
+zipf/uniform, ~1.7x on latest); on the tree kernels SLB averages 6.46x
+and STLT reaches up to ~11-13x.  Shapes: trees >> hash tables, STLT >
+SLB everywhere, latest shows the smallest gains.
+"""
+
+from benchmarks.common import (
+    bench_config,
+    print_figure,
+    run_cached,
+    run_once,
+    speedup_of,
+)
+from repro.sim.results import geomean
+
+HASH_PROGRAMS = ("unordered_map", "dense_hash_map")
+TREE_PROGRAMS = ("ordered_map", "btree")
+DISTRIBUTIONS = ("zipf", "latest", "uniform")
+VALUE_SIZES = (128, 256)
+
+
+def _sweep():
+    out = {}
+    for program in HASH_PROGRAMS + TREE_PROGRAMS:
+        for dist in DISTRIBUTIONS:
+            for size in VALUE_SIZES:
+                runs = {
+                    fe: run_cached(bench_config(program=program,
+                                                frontend=fe,
+                                                distribution=dist,
+                                                value_size=size))
+                    for fe in ("baseline", "slb", "stlt")
+                }
+                out[(program, dist, size)] = runs
+    return out
+
+
+def test_fig13_kernel_speedups(benchmark):
+    all_runs = run_once(benchmark, _sweep)
+
+    rows = []
+    gains = {"hash": {"slb": [], "stlt": []},
+             "tree": {"slb": [], "stlt": []}}
+    for (program, dist, size), runs in sorted(all_runs.items()):
+        slb = speedup_of(runs["baseline"], runs["slb"])
+        stlt = speedup_of(runs["baseline"], runs["stlt"])
+        family = "hash" if program in HASH_PROGRAMS else "tree"
+        gains[family]["slb"].append(slb)
+        gains[family]["stlt"].append(stlt)
+        rows.append([program, f"{dist[0].upper()}-{size}B",
+                     f"{slb:.2f}x", f"{stlt:.2f}x"])
+    for family in ("hash", "tree"):
+        rows.append([f"geomean ({family})",
+                     "-",
+                     f"{geomean(gains[family]['slb']):.2f}x",
+                     f"{geomean(gains[family]['stlt']):.2f}x"])
+    print_figure(
+        "Fig. 13 — kernel benchmark speedups (STLT vs SLB)",
+        ["program", "workload", "SLB", "STLT"],
+        rows,
+        notes=["paper: hash kernels SLB 1.70x / STLT 2.42x;"
+               " tree kernels SLB 6.46x / STLT up to ~13x"],
+    )
+
+    # shape assertions
+    for (program, dist, size), runs in all_runs.items():
+        slb = speedup_of(runs["baseline"], runs["slb"])
+        stlt = speedup_of(runs["baseline"], runs["stlt"])
+        assert stlt > slb, f"STLT <= SLB on {program}/{dist}/{size}"
+        assert stlt > 1.0
+    hash_mean = geomean(gains["hash"]["stlt"])
+    tree_mean = geomean(gains["tree"]["stlt"])
+    assert tree_mean > 2 * hash_mean, (
+        "trees must gain far more than hash tables"
+    )
+    # bands are generous: the absolute factor scales with the simulated
+    # footprint (EXPERIMENTS.md), the ordering does not
+    assert 1.1 < hash_mean < 4.5
+    assert 3.0 < tree_mean < 25.0

@@ -1,0 +1,135 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the
+paper.  Runs are expensive (each is a full trace-driven simulation), so:
+
+* results are memoised in-process *and* in ``.bench_cache.json`` keyed by
+  the full run configuration — figures that share runs (the Fig. 14/15/16
+  size sweep, Fig. 11 vs Table V) reuse them;
+* the scale is controlled by environment variables:
+
+  - ``REPRO_BENCH_KEYS``  (default 50000)  — keys per store
+  - ``REPRO_BENCH_OPS``   (default 6000)   — measured operations
+  - ``REPRO_BENCH_FRESH`` (set to 1)       — ignore the disk cache
+
+Each benchmark prints a paper-vs-measured table; the *shape* (who wins,
+rough factors, orderings) is the reproduction target, per EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.sim.config import RunConfig
+from repro.sim.engine import run_experiment
+from repro.sim.results import format_table
+
+BENCH_KEYS = int(os.environ.get("REPRO_BENCH_KEYS", "50000"))
+BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "6000"))
+
+_CACHE_PATH = Path(__file__).resolve().parent.parent / ".bench_cache.json"
+_memory_cache: Dict[str, dict] = {}
+
+
+def _config_key(config: RunConfig) -> str:
+    fields = (
+        config.program, config.frontend, config.distribution,
+        config.value_size, config.num_keys, config.measure_ops,
+        config.effective_warmup_ops, config.effective_stlt_rows,
+        config.stlt_ways, config.fast_hash, config.effective_slb_entries,
+        tuple(config.prefetchers), config.prefill, config.seed,
+    )
+    return repr(fields)
+
+
+def _load_disk_cache() -> Dict[str, dict]:
+    if os.environ.get("REPRO_BENCH_FRESH"):
+        return {}
+    if _CACHE_PATH.exists():
+        try:
+            return json.loads(_CACHE_PATH.read_text())
+        except (OSError, ValueError):
+            return {}
+    return {}
+
+
+def _store_disk_cache(cache: Dict[str, dict]) -> None:
+    try:
+        _CACHE_PATH.write_text(json.dumps(cache))
+    except OSError:
+        pass
+
+
+def run_cached(config: RunConfig) -> dict:
+    """Run a config (or fetch it from cache); returns a metrics dict."""
+    key = _config_key(config)
+    if key in _memory_cache:
+        return _memory_cache[key]
+    disk = _load_disk_cache()
+    if key in disk:
+        _memory_cache[key] = disk[key]
+        return disk[key]
+    result = run_experiment(config)
+    metrics = {
+        "cycles_per_op": result.cycles_per_op,
+        "cycles": result.cycles,
+        "ops": result.ops,
+        "tlb_misses": result.tlb_misses,
+        "cache_misses": result.cache_misses,
+        "page_walks": result.page_walks,
+        "dram_accesses": result.mem.dram_accesses,
+        "llc_miss_rate": result.mem.llc_miss_rate,
+        "fast_miss_rate": result.fast_miss_rate,
+        "fast_table_bytes": result.fast_table_bytes,
+        "stb_hits": result.mem.stb_hits,
+        "attr": result.attr,
+        "prefetches_issued": result.mem.prefetches_issued,
+        "prefetch_accuracy": result.mem.prefetch_accuracy,
+    }
+    _memory_cache[key] = metrics
+    disk = _load_disk_cache()
+    disk[key] = metrics
+    _store_disk_cache(disk)
+    return metrics
+
+
+def bench_config(**overrides) -> RunConfig:
+    """A RunConfig at benchmark scale, overridable per experiment."""
+    defaults = dict(num_keys=BENCH_KEYS, measure_ops=BENCH_OPS)
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+def speedup_of(baseline: dict, other: dict) -> float:
+    if other["cycles_per_op"] == 0:
+        return float("inf")
+    return baseline["cycles_per_op"] / other["cycles_per_op"]
+
+
+def reduction_of(baseline: int, other: int) -> float:
+    return (baseline - other) / baseline if baseline else 0.0
+
+
+def print_figure(title: str, headers: List[str], rows: List[List[str]],
+                 notes: Optional[List[str]] = None) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(format_table(headers, rows))
+    for note in notes or []:
+        print(f"  note: {note}")
+    print()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark.
+
+    A full simulation takes seconds; repeating it for statistical rounds
+    would multiply the suite's runtime for no benefit (the simulator is
+    deterministic).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

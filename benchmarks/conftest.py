@@ -1,0 +1,8 @@
+"""Make ``benchmarks.*`` importable regardless of pytest rootdir."""
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = str(Path(__file__).resolve().parent.parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)

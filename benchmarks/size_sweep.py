@@ -1,0 +1,52 @@
+"""Shared size sweep backing Figs. 14, 15, and 16.
+
+The paper sweeps the STLT from 16 MB to 512 MB over a 10 M-key store,
+i.e. from ~0.1 to ~3.2 rows per key.  We sweep the same rows-per-key
+ratios; the printed tables label each point with both the simulated table
+size and the paper-equivalent size (ratio x 10 M keys x 16 B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from benchmarks.common import BENCH_KEYS, bench_config, run_cached
+
+#: rows-per-key ratios spanning the paper's 16 MB..512 MB range
+ROW_RATIOS = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+PROGRAMS = ("redis", "unordered_map", "dense_hash_map", "ordered_map",
+            "btree")
+
+
+def rows_for_ratio(ratio: float, num_keys: int = BENCH_KEYS) -> int:
+    target = int(num_keys * ratio)
+    rows = 1
+    while rows < target:
+        rows <<= 1
+    return max(rows, 1024)
+
+
+def paper_equivalent_mb(ratio: float) -> int:
+    """STLT bytes the same ratio implies at the paper's 10 M keys."""
+    return int(ratio * 10_000_000 * 16 / (1 << 20))
+
+
+def sweep(programs=PROGRAMS) -> Dict[Tuple[str, float, str], dict]:
+    """Run {program} x {ratio} x {baseline, slb, stlt}; cached."""
+    out: Dict[Tuple[str, float, str], dict] = {}
+    for program in programs:
+        baseline = run_cached(bench_config(program=program,
+                                           frontend="baseline"))
+        for ratio in ROW_RATIOS:
+            rows = rows_for_ratio(ratio)
+            out[(program, ratio, "baseline")] = baseline
+            for frontend in ("slb", "stlt"):
+                config = bench_config(program=program, frontend=frontend,
+                                      stlt_rows=rows)
+                out[(program, ratio, frontend)] = run_cached(config)
+    return out
+
+
+def ratio_labels() -> List[str]:
+    return [f"{paper_equivalent_mb(r)}MB" for r in ROW_RATIOS]

@@ -1,0 +1,49 @@
+"""repro: reproduction of "Hardware-Based Address-Centric Acceleration of
+Key-Value Store" (Ye et al., HPCA 2021).
+
+The package provides:
+
+* ``repro.core``      — STLT, STB, IPB, STU, OS interface (the paper's
+  contribution);
+* ``repro.mem``       — the simulated memory hierarchy of Table III;
+* ``repro.kvs``       — Redis model and the four Table II index
+  structures over simulated memory;
+* ``repro.slb``       — the SLB software-cache comparator;
+* ``repro.hashes``    — the Table IV hash functions with cost models;
+* ``repro.workloads`` — YCSB-style workload generation;
+* ``repro.sim``       — experiment configuration, front-ends, engine.
+
+Quickstart::
+
+    from repro import RunConfig, run_experiment, speedup
+
+    base = run_experiment(RunConfig(program="unordered_map",
+                                    frontend="baseline",
+                                    num_keys=20_000, measure_ops=5_000))
+    fast = run_experiment(RunConfig(program="unordered_map",
+                                    frontend="stlt",
+                                    num_keys=20_000, measure_ops=5_000))
+    print(f"STLT speedup: {speedup(base, fast):.2f}x")
+"""
+
+from .errors import ReproError
+from .params import DEFAULT_MACHINE, MachineParams
+from .sim.config import RunConfig
+from .sim.engine import Engine, run_experiment
+from .sim.results import RunResult, geomean, reduction, speedup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_MACHINE",
+    "Engine",
+    "MachineParams",
+    "ReproError",
+    "RunConfig",
+    "RunResult",
+    "geomean",
+    "reduction",
+    "run_experiment",
+    "speedup",
+    "__version__",
+]

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Three subcommands:
+
+``run``       simulate one configuration and print its metrics
+              (optionally against a baseline run for speedups);
+``breakdown`` print the Fig. 1-style cycle breakdown of a configuration;
+``hwcost``    print the Table I on-chip cost accounting.
+
+Examples::
+
+    python -m repro run --program redis --frontend stlt --keys 30000
+    python -m repro run --program btree --frontend stlt --compare-baseline
+    python -m repro breakdown --program redis
+    python -m repro hwcost
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.hwcost import hardware_cost
+from .sim.breakdown import run_breakdown
+from .sim.config import DISTRIBUTIONS, FRONTENDS, PROGRAMS, RunConfig
+from .sim.engine import run_experiment
+from .sim.results import RunResult, speedup
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--program", choices=PROGRAMS,
+                        default="unordered_map")
+    parser.add_argument("--frontend", choices=FRONTENDS, default="stlt")
+    parser.add_argument("--distribution", choices=DISTRIBUTIONS,
+                        default="zipf")
+    parser.add_argument("--value-size", type=int, default=64)
+    parser.add_argument("--keys", type=int, default=30_000)
+    parser.add_argument("--ops", type=int, default=5_000,
+                        help="measured operations")
+    parser.add_argument("--warmup-ops", type=int, default=None)
+    parser.add_argument("--stlt-rows", type=int, default=None)
+    parser.add_argument("--stlt-ways", type=int, default=4)
+    parser.add_argument("--fast-hash", default="xxh3")
+    parser.add_argument("--prefetchers", nargs="*", default=(),
+                        choices=("stream", "vldp", "tlb_distance"))
+    parser.add_argument("--no-prefill", action="store_true")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
+    return RunConfig(
+        program=args.program,
+        frontend=frontend or args.frontend,
+        distribution=args.distribution,
+        value_size=args.value_size,
+        num_keys=args.keys,
+        measure_ops=args.ops,
+        warmup_ops=args.warmup_ops,
+        stlt_rows=args.stlt_rows,
+        stlt_ways=args.stlt_ways,
+        fast_hash=args.fast_hash,
+        prefetchers=tuple(args.prefetchers),
+        prefill=not args.no_prefill,
+        seed=args.seed,
+    )
+
+
+def _print_result(result: RunResult) -> None:
+    print(f"configuration : {result.label}")
+    print(f"operations    : {result.ops} "
+          f"({result.gets} GET / {result.sets} SET)")
+    print(f"cycles/op     : {result.cycles_per_op:.1f}")
+    print(f"TLB misses    : {result.tlb_misses}")
+    print(f"page walks    : {result.page_walks}")
+    print(f"L1 misses     : {result.cache_misses}")
+    print(f"DRAM accesses : {result.mem.dram_accesses}")
+    if result.fast_miss_rate is not None:
+        print(f"table miss    : {result.fast_miss_rate:.2%}")
+        print(f"table size    : {result.fast_table_bytes >> 10} KiB")
+    if result.mem.stb_hits:
+        print(f"STB hits      : {result.mem.stb_hits}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(_config_from_args(args))
+    _print_result(result)
+    if args.compare_baseline and args.frontend != "baseline":
+        baseline = run_experiment(_config_from_args(args, "baseline"))
+        print(f"baseline      : {baseline.cycles_per_op:.1f} cycles/op")
+        print(f"speedup       : {speedup(baseline, result):.2f}x")
+    return 0
+
+
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    breakdown = run_breakdown(_config_from_args(args))
+    print(f"configuration    : {breakdown.result.label}")
+    for category, share in breakdown.rows():
+        print(f"  {category:<12} {share:6.1%}")
+    print(f"addressing share : {breakdown.addressing_share:.1%}")
+    return 0
+
+
+def cmd_hwcost(_args: argparse.Namespace) -> int:
+    report = hardware_cost()
+    for component, bits in report.rows():
+        print(f"  {component:<22} {bits:>5} bits")
+    print(f"  total bytes: {report.total_bytes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STLT (HPCA'21) reproduction: run simulated "
+                    "key-value-store experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one configuration")
+    _add_config_arguments(run_parser)
+    run_parser.add_argument("--compare-baseline", action="store_true",
+                            help="also run the baseline and print speedup")
+    run_parser.set_defaults(func=cmd_run)
+
+    breakdown_parser = sub.add_parser(
+        "breakdown", help="Fig. 1-style cycle attribution")
+    _add_config_arguments(breakdown_parser)
+    breakdown_parser.set_defaults(func=cmd_breakdown)
+
+    hwcost_parser = sub.add_parser(
+        "hwcost", help="Table I hardware cost accounting")
+    hwcost_parser.set_defaults(func=cmd_hwcost)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's contribution: STLT, STB, IPB, STU, and the OS interface.
+
+Composition (Figs. 7-9 of the paper):
+
+* :class:`~repro.core.stlt.STLT` — the off-chip, kernel-resident,
+  set-associative table of 16-byte rows (counter | sub-integer | VA | PTE).
+* :class:`~repro.core.stb.STB` — 32-entry on-chip fully associative FIFO
+  buffer of VA→PTE pairs, probed by the memory system on L2 TLB misses.
+* :class:`~repro.core.ipb.IPB` — 32-entry invalid page buffer implementing
+  lazy STLT/page-table coherence.
+* :class:`~repro.core.stu.STU` — the system translation unit executing the
+  two new instructions ``loadVA`` and ``insertSTLT``.
+* :class:`~repro.core.os_interface.OSInterface` — STLTalloc/resize/free
+  syscalls, the flush_tlb_* hook, and context-switch handling.
+* :class:`~repro.core.monitor.PerformanceMonitor` — the runtime on/off
+  performance guarantee of Sections III-F and III-H.
+"""
+
+from .hwcost import HardwareCostReport, hardware_cost
+from .ipb import IPB
+from .monitor import PerformanceMonitor
+from .multi_table import make_shared_integer
+from .os_interface import OSInterface
+from .row import STLTRow
+from .stb import STB
+from .stlt import STLT
+from .stu import STU, LoadVAResult
+
+__all__ = [
+    "HardwareCostReport",
+    "IPB",
+    "LoadVAResult",
+    "OSInterface",
+    "PerformanceMonitor",
+    "STB",
+    "STLT",
+    "STLTRow",
+    "STU",
+    "hardware_cost",
+    "make_shared_integer",
+]

@@ -1,0 +1,46 @@
+"""Probabilistic 4-bit frequency counters (Section III-E).
+
+To keep an STLT row at 16 bytes, the access counter has only 4 bits.  A
+deterministic counter would saturate after 15 accesses, so the hardware
+increments probabilistically: with the counter at value ``x``, it draws a
+random number below ``2**x`` and increments only when the draw is 0.  A
+counter therefore represents roughly ``2**x`` accesses and overflows
+after about ``2**17`` updates on average — and overflow is benign (the
+hardware simply wraps to a conservative value; a hot row may get
+replaced, hurting performance but never correctness).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .row import COUNTER_MAX
+
+
+class ProbabilisticCounterPolicy:
+    """Shared increment policy; the RNG is seeded for reproducibility.
+
+    Real hardware draws random numbers ahead of time so the increment is
+    effectively free (the paper's claim); the model likewise charges no
+    cycles for the draw.
+    """
+
+    def __init__(self, seed: int = 0xC0DE) -> None:
+        self._rng = random.Random(seed)
+        self.updates = 0
+        self.increments = 0
+        self.overflows = 0
+
+    def update(self, value: int) -> int:
+        """Return the counter's next value after one access."""
+        self.updates += 1
+        if value < 0:
+            raise ValueError("counter value cannot be negative")
+        if self._rng.randrange(1 << value) != 0:
+            return value
+        self.increments += 1
+        if value >= COUNTER_MAX:
+            # overflow: wrap to half scale, a benign decay
+            self.overflows += 1
+            return COUNTER_MAX // 2
+        return value + 1

@@ -1,0 +1,62 @@
+"""On-chip hardware cost accounting, reproducing Table I bit-for-bit.
+
+The paper assumes 48-bit virtual addresses and 4 KB pages, so a virtual
+page number is 36 bits; physical addresses are 44 bits.  Component
+inventories:
+
+* CR_S            : 64 bits (STLT base address and size)
+* Invalid page buffer: 32 entries x 36-bit vpn + one 6-bit counter = 1158
+* STB             : 32 entries x (64-bit VA + 64-bit PTE)        = 4096
+* Insertion buffer:  8 entries x (64-bit VA + 64-bit PTE + 44-bit PA)
+                                                                  = 1376
+* Total             6694 bits = 837 bytes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+VA_BITS = 48
+PAGE_OFFSET_BITS = 12
+VPN_BITS = VA_BITS - PAGE_OFFSET_BITS  # 36
+PA_BITS = 44
+PTE_BITS = 64
+
+
+@dataclass(frozen=True)
+class HardwareCostReport:
+    """Bit costs per component plus the total (Table I)."""
+
+    components: Dict[str, int]
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.components.values())
+
+    @property
+    def total_bytes(self) -> int:
+        # the paper rounds 6694 bits up to 837 bytes
+        return (self.total_bits + 7) // 8
+
+    def rows(self):
+        """(component, bits) pairs in Table I order plus the total."""
+        yield from self.components.items()
+        yield "Total", self.total_bits
+
+
+def hardware_cost(
+    ipb_entries: int = 32,
+    stb_entries: int = 32,
+    insertion_entries: int = 8,
+) -> HardwareCostReport:
+    """Compute the on-chip bit budget for the given buffer geometries."""
+    ipb_counter_bits = max(ipb_entries - 1, 1).bit_length() + 1  # 6 for 32
+    return HardwareCostReport(
+        components={
+            "CR_S": 64,
+            "Invalid page buffer": ipb_entries * VPN_BITS + ipb_counter_bits,
+            "STB": stb_entries * (64 + PTE_BITS),
+            "Insertion buffer": insertion_entries * (64 + PTE_BITS + PA_BITS),
+        }
+    )

@@ -1,0 +1,56 @@
+"""The 8-entry insertion buffer backing ``insertSTLT`` (Section III-D2).
+
+Each entry holds an outstanding STLT row store: the row to be written and
+its target address.  In the single-issue timing model stores complete in
+order, so the buffer can never actually overflow; the model exists to
+account its occupancy, to provide the atomic-16-byte-store semantics the
+paper discusses (a row write is all-or-nothing), and to let tests inject
+the concurrent-writer scenario.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from ..errors import STLTError
+from .row import STLTRow
+
+INSERTION_BUFFER_ENTRIES = 8
+
+
+class InsertionBuffer:
+    """FIFO of pending (target physical address, row) stores."""
+
+    def __init__(self, entries: int = INSERTION_BUFFER_ENTRIES) -> None:
+        if entries <= 0:
+            raise STLTError("insertion buffer needs at least one entry")
+        self.entries = entries
+        self._pending: Deque[Tuple[int, STLTRow]] = deque()
+        self.pushes = 0
+        self.drains = 0
+        self.high_water = 0
+
+    def push(self, paddr: int, row: STLTRow) -> None:
+        if len(self._pending) >= self.entries:
+            raise STLTError("insertion buffer overflow (issue width exceeded)")
+        row.validate()
+        self._pending.append((paddr, row))
+        self.pushes += 1
+        if len(self._pending) > self.high_water:
+            self.high_water = len(self._pending)
+
+    def drain_one(self) -> Tuple[int, STLTRow]:
+        """Complete the oldest pending store (the atomic 16-byte write)."""
+        if not self._pending:
+            raise STLTError("nothing pending in the insertion buffer")
+        self.drains += 1
+        return self._pending.popleft()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._pending)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._pending) >= self.entries

@@ -1,0 +1,85 @@
+"""Runtime performance monitoring (Sections III-F and III-H).
+
+STLT can hurt performance when its hit ratio collapses — a table that is
+too small, a workload with no locality, or a deliberate flooding attack
+that misses on every request.  The guarantee mechanism periodically turns
+STLT off for a sampling window, compares cycles-per-operation between the
+on and off windows, and leaves STLT in whichever state wins.  A disabled
+STLT is re-probed after a back-off so a workload shift can re-enable it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .stu import STU
+
+
+class PerformanceMonitor:
+    """Dynamic STLT on/off switch driven by measured cycles per op."""
+
+    def __init__(
+        self,
+        stu: STU,
+        window_ops: int = 2048,
+        tolerance: float = 0.02,
+        backoff_windows: int = 8,
+    ) -> None:
+        if window_ops <= 0:
+            raise ConfigError("monitor window must be positive")
+        if tolerance < 0:
+            raise ConfigError("tolerance cannot be negative")
+        self.stu = stu
+        self.window_ops = window_ops
+        self.tolerance = tolerance
+        self.backoff_windows = backoff_windows
+
+        self._phase = "measure_on"  # -> measure_off -> decide
+        self._ops_in_window = 0
+        self._window_start_cycle = stu.mem.now
+        self._cpo_on: float = 0.0
+        self._cpo_off: float = 0.0
+        self._idle_windows = 0
+        self.decisions = 0
+        self.disables = 0
+        self.enables = 0
+
+    @property
+    def stlt_enabled(self) -> bool:
+        return self.stu.enabled
+
+    def _window_cpo(self) -> float:
+        cycles = self.stu.mem.now - self._window_start_cycle
+        return cycles / self.window_ops
+
+    def record_op(self) -> None:
+        """Call once per key-value operation."""
+        self._ops_in_window += 1
+        if self._ops_in_window < self.window_ops:
+            return
+        self._ops_in_window = 0
+        if self._phase == "measure_on":
+            self._cpo_on = self._window_cpo()
+            self.stu.enabled = False
+            self._phase = "measure_off"
+        elif self._phase == "measure_off":
+            self._cpo_off = self._window_cpo()
+            self._decide()
+        else:  # steady state: count idle windows until the next probe
+            self._idle_windows += 1
+            if self._idle_windows >= self.backoff_windows:
+                self._idle_windows = 0
+                self.stu.enabled = True
+                self._phase = "measure_on"
+        self._window_start_cycle = self.stu.mem.now
+
+    def _decide(self) -> None:
+        self.decisions += 1
+        # keep STLT only when it is measurably no worse than off
+        if self._cpo_on <= self._cpo_off * (1.0 + self.tolerance):
+            self.stu.enabled = True
+            self.enables += 1
+        else:
+            self.stu.enabled = False
+            self.disables += 1
+        self._phase = "steady"
+        self._idle_windows = 0

@@ -1,0 +1,54 @@
+"""Sharing one STLT between several indexing structures (Fig. 10).
+
+An application gets exactly one STLT.  When several indexes want
+acceleration, each is assigned a small unique ID, and the programmer
+replaces the last bit(s) of the *sub-integer* with the ID before feeding
+the integer to ``loadVA``/``insertSTLT``.  Two structures hashing the
+same key then produce globally distinct integers, so their rows cannot
+alias in the shared table.
+"""
+
+from __future__ import annotations
+
+from ..errors import STLTError
+
+
+def make_shared_integer(integer: int, table_id: int, id_bits: int) -> int:
+    """Embed ``table_id`` into the low ``id_bits`` of the sub-integer.
+
+    The set-index bits (bit 12 upward, Fig. 6) are untouched, so the
+    manipulated integer still maps to the set the hash chose; only the
+    partial tag is disambiguated.
+    """
+    if id_bits <= 0 or id_bits > 12:
+        raise STLTError("table-ID width must be between 1 and 12 bits")
+    if not 0 <= table_id < (1 << id_bits):
+        raise STLTError(
+            f"table id {table_id} does not fit in {id_bits} bit(s)"
+        )
+    mask = (1 << id_bits) - 1
+    return (integer & ~mask) | table_id
+
+
+class SharedSTLTNamespace:
+    """Helper that assigns IDs to indexes sharing one STLT."""
+
+    def __init__(self, id_bits: int = 2) -> None:
+        if id_bits <= 0 or id_bits > 12:
+            raise STLTError("table-ID width must be between 1 and 12 bits")
+        self.id_bits = id_bits
+        self._next_id = 0
+
+    def register(self) -> int:
+        """Assign the next table ID; raises when the namespace is full."""
+        if self._next_id >= (1 << self.id_bits):
+            raise STLTError(
+                f"cannot register more than {1 << self.id_bits} tables "
+                f"with {self.id_bits} ID bit(s)"
+            )
+        table_id = self._next_id
+        self._next_id += 1
+        return table_id
+
+    def transform(self, integer: int, table_id: int) -> int:
+        return make_shared_integer(integer, table_id, self.id_bits)

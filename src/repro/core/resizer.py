@@ -1,0 +1,110 @@
+"""Adaptive STLT sizing (Section III-F, performance guarantee).
+
+The paper: *"our design allows the key-value store user to monitor STLT
+miss ratio and tune the performance factors"* and *"runtime performance
+monitoring ... combined with resizing when the hit rate is too low."*
+
+:class:`AdaptiveResizer` implements that loop.  Every ``window_ops``
+operations it reads the STLT miss ratio over the window and
+
+* **grows** the table (x2) when the miss ratio exceeds ``grow_above`` —
+  more rows cut conflict misses at the cost of kernel memory;
+* **shrinks** it (/2) when the miss ratio has stayed under
+  ``shrink_below`` for ``shrink_patience`` consecutive windows — space
+  nobody needs is returned;
+* respects ``min_rows``/``max_rows`` bounds set by the operator.
+
+Resizing goes through ``STLTresize``, which clears the table (the kernel
+cannot rehash rows because the application's hash function is opaque to
+it), so the resizer is deliberately conservative: each grow step pays a
+cold-start penalty before it can pay off.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .os_interface import OSInterface
+
+
+class AdaptiveResizer:
+    """Miss-ratio-driven STLT resize policy."""
+
+    def __init__(
+        self,
+        osi: OSInterface,
+        window_ops: int = 4096,
+        grow_above: float = 0.10,
+        shrink_below: float = 0.005,
+        shrink_patience: int = 4,
+        min_rows: int = 1 << 10,
+        max_rows: int = 1 << 26,
+        cooldown_windows: int = 1,
+    ) -> None:
+        if osi.stlt is None:
+            raise ConfigError("allocate an STLT before attaching a resizer")
+        if not 0.0 <= shrink_below < grow_above <= 1.0:
+            raise ConfigError("need 0 <= shrink_below < grow_above <= 1")
+        if window_ops <= 0:
+            raise ConfigError("window must be positive")
+        if min_rows > max_rows:
+            raise ConfigError("min_rows must not exceed max_rows")
+        self.osi = osi
+        self.window_ops = window_ops
+        self.grow_above = grow_above
+        self.shrink_below = shrink_below
+        self.shrink_patience = shrink_patience
+        self.min_rows = min_rows
+        self.max_rows = max_rows
+        #: windows to sit out after a resize: STLTresize clears the
+        #: table, so the first post-resize window is always miss-heavy
+        #: and must not trigger another resize
+        self.cooldown_windows = cooldown_windows
+
+        self._ops = 0
+        self._lookups_mark = osi.stlt.lookups
+        self._hits_mark = osi.stlt.hits
+        self._quiet_windows = 0
+        self._cooldown = 0
+        self.grows = 0
+        self.shrinks = 0
+
+    @property
+    def rows(self) -> int:
+        return self.osi.stlt.num_rows
+
+    def record_op(self) -> None:
+        """Call once per key-value operation."""
+        self._ops += 1
+        if self._ops < self.window_ops:
+            return
+        self._ops = 0
+        stlt = self.osi.stlt
+        lookups = stlt.lookups - self._lookups_mark
+        hits = stlt.hits - self._hits_mark
+        if lookups <= 0:
+            return
+        miss_ratio = 1.0 - hits / lookups
+        if self._cooldown > 0:
+            self._cooldown -= 1
+        else:
+            self._decide(miss_ratio)
+        self._lookups_mark = self.osi.stlt.lookups
+        self._hits_mark = self.osi.stlt.hits
+
+    def _decide(self, miss_ratio: float) -> None:
+        rows = self.osi.stlt.num_rows
+        if miss_ratio > self.grow_above and rows < self.max_rows:
+            self.osi.stlt_resize(min(rows * 2, self.max_rows))
+            self.grows += 1
+            self._quiet_windows = 0
+            self._cooldown = self.cooldown_windows
+            return
+        if miss_ratio < self.shrink_below and rows > self.min_rows:
+            self._quiet_windows += 1
+            if self._quiet_windows >= self.shrink_patience:
+                self.osi.stlt_resize(max(rows // 2, self.min_rows))
+                self.shrinks += 1
+                self._quiet_windows = 0
+                self._cooldown = self.cooldown_windows
+        else:
+            self._quiet_windows = 0

@@ -1,0 +1,107 @@
+"""The 16-byte STLT row layout of Fig. 5.
+
+A row packs, in order: a 4-bit access-frequency counter, a 12-bit
+sub-integer (the partial tag taken from the 12 LSBs of the hash integer),
+the 48-bit virtual address of the record, and the page-table entry of the
+page holding it.  The Python model keeps the fields as attributes but
+enforces the bit widths, and :meth:`pack`/:meth:`unpack` round-trip the
+row through its literal 16-byte encoding so tests can verify the layout
+really fits (Section III-C chose 12 tag bits precisely so a row does not
+spill past 16 bytes).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import STLTError
+
+COUNTER_BITS = 4
+SUBINT_BITS = 12
+VA_BITS_ROW = 48
+PTE_BITS = 64
+
+COUNTER_MAX = (1 << COUNTER_BITS) - 1
+SUBINT_MASK = (1 << SUBINT_BITS) - 1
+ROW_BYTES = 16
+
+
+@dataclass
+class STLTRow:
+    """One STLT row: counter | sub-integer | VA | PTE."""
+
+    counter: int = 0
+    subint: int = 0
+    va: int = 0
+    pte: int = 0
+
+    def validate(self) -> None:
+        if not 0 <= self.counter <= COUNTER_MAX:
+            raise STLTError(f"counter {self.counter} exceeds {COUNTER_BITS} bits")
+        if not 0 <= self.subint <= SUBINT_MASK:
+            raise STLTError(f"sub-integer {self.subint} exceeds {SUBINT_BITS} bits")
+        if not 0 <= self.va < (1 << VA_BITS_ROW):
+            raise STLTError(f"va {self.va:#x} exceeds {VA_BITS_ROW} bits")
+        if not 0 <= self.pte < (1 << PTE_BITS):
+            raise STLTError(f"pte {self.pte:#x} exceeds {PTE_BITS} bits")
+
+    @property
+    def valid(self) -> bool:
+        """A null VA marks an empty row (loadVA returns 0 on miss)."""
+        return self.va != 0
+
+    def pack(self) -> bytes:
+        """Encode to the literal 16-byte row: u64 header | u64 PTE.
+
+        Header layout (low to high bits): counter[4] | subint[12] | va[48].
+        """
+        self.validate()
+        header = self.counter | (self.subint << COUNTER_BITS) | (
+            self.va << (COUNTER_BITS + SUBINT_BITS)
+        )
+        if header >= 1 << 64:
+            raise STLTError("row header overflows 64 bits")
+        return struct.pack("<QQ", header, self.pte)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "STLTRow":
+        if len(raw) != ROW_BYTES:
+            raise STLTError(f"an STLT row is {ROW_BYTES} bytes, got {len(raw)}")
+        header, pte = struct.unpack("<QQ", raw)
+        return cls(
+            counter=header & COUNTER_MAX,
+            subint=(header >> COUNTER_BITS) & SUBINT_MASK,
+            va=header >> (COUNTER_BITS + SUBINT_BITS),
+            pte=pte,
+        )
+
+    def clear(self) -> None:
+        self.counter = 0
+        self.subint = 0
+        self.va = 0
+        self.pte = 0
+
+
+# -- PTE encoding helpers ----------------------------------------------------
+#
+# The STLT stores the page-table entry verbatim; the simulator encodes a
+# PTE as (pfn << 12) | PRESENT, mirroring the x86-64 layout closely enough
+# for the coherence logic (a zero PTE is "not present", the SPTW's page
+# fault result).
+
+PTE_PRESENT = 0x1
+
+
+def make_pte(pfn: int) -> int:
+    """Encode a present PTE pointing to physical frame ``pfn``."""
+    return (pfn << 12) | PTE_PRESENT
+
+
+def pte_pfn(pte: int) -> int:
+    """Physical frame number held in a PTE."""
+    return pte >> 12
+
+
+def pte_present(pte: int) -> bool:
+    return bool(pte & PTE_PRESENT)

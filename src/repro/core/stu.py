@@ -1,0 +1,184 @@
+"""STU: the system translation unit executing loadVA and insertSTLT.
+
+This models the new functional unit of Fig. 7 with the latency model of
+Table III:
+
+* ``loadVA``     = 6 cycles + one STLT set load (through the data caches,
+  physically addressed via CR_S) + a 4-bit counter store on a hit, plus
+  the IPB probe.  On a hit the VA/PTE pair is forwarded to the STB so the
+  record access that follows can skip its page walk.
+* ``insertSTLT`` = 4 cycles + a simplified page-table walk (TLB peek or
+  PTE loads through the caches) + a 16-byte row store via the insertion
+  buffer.  A null PTE from the SPTW turns the instruction into an
+  ignored hint.
+
+Memory-ordering note (Section III-D): instructions with the same integer
+are ordered; the serial timing model trivially satisfies this, and the
+test suite checks the observable consequence (a loadVA after an
+insertSTLT with the same integer sees the inserted row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import STLTError
+from ..mem.hierarchy import MemorySystem
+from ..params import PAGE_SHIFT
+from .insertion_buffer import InsertionBuffer
+from .ipb import IPB
+from .row import ROW_BYTES
+from .sptw import SimplifiedPTW
+from .stb import STB
+from .stlt import STLT
+
+
+@dataclass
+class LoadVAResult:
+    """Outcome of one loadVA instruction."""
+
+    va: int
+    cycles: int
+    hit: bool
+    ipb_filtered: bool = False
+
+    @property
+    def missed(self) -> bool:
+        return self.va == 0
+
+
+@dataclass
+class CRS:
+    """The CR_S register pair: STLT physical base address and size."""
+
+    base_pa: int = 0
+    num_rows: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.num_rows != 0
+
+
+class STU:
+    """The system translation unit attached to one core."""
+
+    def __init__(self, mem: MemorySystem, va_only: bool = False) -> None:
+        self.mem = mem
+        self.crs = CRS()
+        self.stlt: Optional[STLT] = None
+        self.stb = STB()
+        self.ipb = IPB()
+        self.insertion_buffer = InsertionBuffer()
+        self.sptw = SimplifiedPTW(mem)
+        #: STLT-VA ablation (Fig. 19 left): rows retain only VAs — no
+        #: SPTW walk on insert, no STB fill on load
+        self.va_only = va_only
+        #: dynamic enable used by the performance monitor (Sec. III-F)
+        self.enabled = True
+
+        self.load_va_count = 0
+        self.load_va_hits = 0
+        self.load_va_ipb_filtered = 0
+        self.insert_count = 0
+        self.insert_ignored = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach_stlt(self, stlt: STLT) -> None:
+        """Point CR_S at a table and expose the STB on the TLB-miss path."""
+        self.stlt = stlt
+        self.crs = CRS(base_pa=stlt.base_pa, num_rows=stlt.num_rows)
+        if not self.va_only:
+            self.mem.attach_stb(self.stb)
+
+    def detach_stlt(self) -> None:
+        self.stlt = None
+        self.crs = CRS()
+        self.stb.clear()
+        self.mem.detach_stb()
+
+    # ------------------------------------------------------------------
+    # loadVA
+    # ------------------------------------------------------------------
+
+    def load_va(self, integer: int) -> LoadVAResult:
+        """Execute loadVA; returns the record VA, 0 on an STLT miss."""
+        stlt = self.stlt
+        if stlt is None or not self.crs.enabled:
+            raise STLTError("loadVA executed with no STLT allocated")
+        instr = self.mem.machine.instr
+        self.load_va_count += 1
+        cycles = instr.load_va_cycles
+        self.mem.tick(instr.load_va_cycles, attr="stlt")
+
+        if not self.enabled:
+            # monitor switched STLT off: the instruction retires as a miss
+            # without touching memory
+            return LoadVAResult(va=0, cycles=cycles, hit=False)
+
+        set_index, way = stlt.scan(integer)
+        cycles += self.mem.physical_access(
+            stlt.set_paddr(set_index), stlt.ways * ROW_BYTES
+        )
+        if way is None:
+            return LoadVAResult(va=0, cycles=cycles, hit=False)
+
+        row = stlt.read_row(set_index, way)
+        # IPB probe: a recently invalidated page makes the row unusable
+        cycles += instr.ipb_probe_cycles
+        self.mem.tick(instr.ipb_probe_cycles, attr="stlt")
+        if self.ipb.contains(row.va >> PAGE_SHIFT):
+            self.load_va_ipb_filtered += 1
+            return LoadVAResult(va=0, cycles=cycles, hit=False, ipb_filtered=True)
+
+        # hit: probabilistic counter update (4-bit store) ...
+        stlt.touch(set_index, way)
+        cycles += instr.counter_store_cycles
+        self.mem.tick(instr.counter_store_cycles, attr="stlt")
+        # ... and forward the translation to the STB for the record access
+        if not self.va_only and row.pte:
+            self.stb.insert(row.va >> PAGE_SHIFT, row.pte)
+        self.load_va_hits += 1
+        return LoadVAResult(va=row.va, cycles=cycles, hit=True)
+
+    # ------------------------------------------------------------------
+    # insertSTLT
+    # ------------------------------------------------------------------
+
+    def insert_stlt(self, integer: int, va: int) -> int:
+        """Execute insertSTLT; returns the cycles charged.
+
+        The VA's PTE is resolved by the SPTW; a null PTE (page fault)
+        turns the instruction into an ignored hint (Section III-D2).
+        """
+        stlt = self.stlt
+        if stlt is None or not self.crs.enabled:
+            raise STLTError("insertSTLT executed with no STLT allocated")
+        instr = self.mem.machine.instr
+        self.insert_count += 1
+        cycles = instr.insert_stlt_cycles
+        self.mem.tick(instr.insert_stlt_cycles, attr="stlt")
+
+        if not self.enabled:
+            return cycles
+
+        if self.va_only:
+            pte = 0
+        else:
+            pte, sptw_cycles = self.sptw.resolve(va)
+            cycles += sptw_cycles
+            self.mem.tick(sptw_cycles, attr="translation")
+            if pte == 0:
+                self.insert_ignored += 1
+                return cycles
+
+        set_index, way = stlt.insert(integer, va, pte)
+        row = stlt.read_row(set_index, way)
+        self.insertion_buffer.push(stlt.row_paddr(set_index, way), row)
+        # the atomic 16-byte store drains through the data caches
+        paddr, _ = self.insertion_buffer.drain_one()
+        cycles += self.mem.physical_access(paddr, ROW_BYTES)
+        return cycles

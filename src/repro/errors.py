@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator derives from :class:`ReproError`, so
+callers can catch simulator-specific failures without masking genuine
+programming errors (``TypeError`` and friends propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An experiment or component was configured with invalid parameters."""
+
+
+class AddressError(ReproError):
+    """An address was malformed or outside the simulated address space."""
+
+
+class PageFault(ReproError):
+    """A virtual address was accessed with no valid translation.
+
+    The regular page-table walker raises this (the OS would handle it);
+    the *simplified* page-table walker used by ``insertSTLT`` catches it
+    and returns a null PTE instead, per Section III-D2 of the paper.
+    """
+
+    def __init__(self, vaddr: int) -> None:
+        super().__init__(f"page fault at virtual address {vaddr:#x}")
+        self.vaddr = vaddr
+
+
+class AllocationError(ReproError):
+    """The simulated allocator ran out of its configured address region."""
+
+
+class STLTError(ReproError):
+    """Misuse of the STLT interface (bad size, missing allocation, ...)."""
+
+
+class KVSError(ReproError):
+    """Errors from the simulated key-value stores and index structures."""

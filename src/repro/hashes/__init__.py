@@ -1,0 +1,29 @@
+"""Hash functions used by the paper's evaluation (Table IV).
+
+All functions are real, bit-exact implementations operating on ``bytes``
+and returning unsigned 64-bit integers.  ``siphash24`` and ``xxh64`` are
+verified against published reference vectors in the test suite.
+
+The registry also carries the *cycle-cost model* for each function: the
+simulator charges `base + per_byte * len` cycles per hash invocation,
+calibrated to preserve the published ordering (SipHash is the expensive
+attack-resistant default; xxh3 is the cheap fast-path choice).
+"""
+
+from .djb2 import djb2
+from .murmur import murmur64a
+from .registry import HASH_FUNCTIONS, HashSpec, get_hash, hash_cost_cycles
+from .siphash import siphash24
+from .xxhash import xxh3_64, xxh64
+
+__all__ = [
+    "HASH_FUNCTIONS",
+    "HashSpec",
+    "djb2",
+    "get_hash",
+    "hash_cost_cycles",
+    "murmur64a",
+    "siphash24",
+    "xxh3_64",
+    "xxh64",
+]

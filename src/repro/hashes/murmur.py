@@ -1,0 +1,42 @@
+"""MurmurHash64A (Appleby), the default hash of the kernel benchmarks.
+
+Table IV lists murmurHash as the default hash function of the four
+non-Redis benchmarks (and of C++/Java standard libraries).  This is the
+classic 64-bit variant for x64.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = (1 << 64) - 1
+_M = 0xC6A4A7935BD1E995
+_R = 47
+
+
+def murmur64a(data: bytes, seed: int = 0) -> int:
+    """MurmurHash64A of ``data``; returns u64."""
+    n = len(data)
+    h = (seed ^ ((n * _M) & _MASK)) & _MASK
+
+    end = n - (n % 8)
+    for off in range(0, end, 8):
+        (k,) = struct.unpack_from("<Q", data, off)
+        k = (k * _M) & _MASK
+        k ^= k >> _R
+        k = (k * _M) & _MASK
+        h ^= k
+        h = (h * _M) & _MASK
+
+    tail = data[end:]
+    if tail:
+        m = 0
+        for i, byte in enumerate(tail):
+            m |= byte << (8 * i)
+        h ^= m
+        h = (h * _M) & _MASK
+
+    h ^= h >> _R
+    h = (h * _M) & _MASK
+    h ^= h >> _R
+    return h

@@ -1,0 +1,74 @@
+"""SipHash-2-4 (Aumasson & Bernstein), the attack-resistant PRF.
+
+SipHash is the default hash of Redis, Python and Rust (Section II of the
+paper).  This is a bit-exact implementation of SipHash-2-4 with a 128-bit
+key, verified against the reference vectors from the SipHash paper in
+``tests/hashes/test_siphash.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = (1 << 64) - 1
+
+#: Default key used when the caller does not supply one.  Real deployments
+#: randomise the key at startup; the simulator keeps it fixed for
+#: reproducibility (the value is the reference-vector key 000102...0f).
+DEFAULT_KEY = bytes(range(16))
+
+
+def _rotl(x: int, b: int) -> int:
+    return ((x << b) | (x >> (64 - b))) & _MASK
+
+
+def _sipround(v0: int, v1: int, v2: int, v3: int):
+    v0 = (v0 + v1) & _MASK
+    v1 = _rotl(v1, 13)
+    v1 ^= v0
+    v0 = _rotl(v0, 32)
+    v2 = (v2 + v3) & _MASK
+    v3 = _rotl(v3, 16)
+    v3 ^= v2
+    v0 = (v0 + v3) & _MASK
+    v3 = _rotl(v3, 21)
+    v3 ^= v0
+    v2 = (v2 + v1) & _MASK
+    v1 = _rotl(v1, 17)
+    v1 ^= v2
+    v2 = _rotl(v2, 32)
+    return v0, v1, v2, v3
+
+
+def siphash24(data: bytes, key: bytes = DEFAULT_KEY) -> int:
+    """SipHash-2-4 of ``data`` under a 16-byte ``key``; returns u64."""
+    if len(key) != 16:
+        raise ValueError("SipHash requires a 16-byte key")
+    k0, k1 = struct.unpack("<QQ", key)
+    v0 = k0 ^ 0x736F6D6570736575
+    v1 = k1 ^ 0x646F72616E646F6D
+    v2 = k0 ^ 0x6C7967656E657261
+    v3 = k1 ^ 0x7465646279746573
+
+    n = len(data)
+    end = n - (n % 8)
+    for off in range(0, end, 8):
+        (m,) = struct.unpack_from("<Q", data, off)
+        v3 ^= m
+        v0, v1, v2, v3 = _sipround(v0, v1, v2, v3)
+        v0, v1, v2, v3 = _sipround(v0, v1, v2, v3)
+        v0 ^= m
+
+    tail = data[end:]
+    m = (n & 0xFF) << 56
+    for i, byte in enumerate(tail):
+        m |= byte << (8 * i)
+    v3 ^= m
+    v0, v1, v2, v3 = _sipround(v0, v1, v2, v3)
+    v0, v1, v2, v3 = _sipround(v0, v1, v2, v3)
+    v0 ^= m
+
+    v2 ^= 0xFF
+    for _ in range(4):
+        v0, v1, v2, v3 = _sipround(v0, v1, v2, v3)
+    return (v0 ^ v1 ^ v2 ^ v3) & _MASK

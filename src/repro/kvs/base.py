@@ -1,0 +1,110 @@
+"""Shared context object and the Index interface.
+
+:class:`SimContext` bundles the machine a run needs — address space,
+memory system, allocator, record store, and the slow-path hash — so the
+index structures take one constructor argument instead of five.
+
+:class:`Index` is the abstract interface of the four Table II structures.
+All of them share the same semantic the paper requires of an
+STLT-accelerable structure: a key goes in, the matching record comes out.
+``lookup`` is the *timed* path (it drives the simulated memory system);
+``build_insert`` installs a key without timing, used to populate stores
+before measurement; ``insert``/``remove`` are the timed mutation paths.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import KVSError
+from ..hashes.registry import HashSpec, get_hash
+from ..mem.address_space import AddressSpace
+from ..mem.allocator import BumpAllocator
+from ..mem.hierarchy import MemorySystem
+from ..params import DEFAULT_MACHINE, MachineParams
+from .records import Record, RecordStore
+
+#: cycles to compare two short keys after the lines are in registers
+KEY_COMPARE_CYCLES = 6
+
+
+@dataclass
+class SimContext:
+    """Everything an index structure needs to exist and be timed."""
+
+    space: AddressSpace
+    mem: MemorySystem
+    alloc: BumpAllocator
+    records: RecordStore
+    slow_hash: HashSpec
+
+    @classmethod
+    def create(
+        cls,
+        machine: MachineParams = DEFAULT_MACHINE,
+        slow_hash: str = "siphash",
+        **mem_kwargs,
+    ) -> "SimContext":
+        space = AddressSpace()
+        mem = MemorySystem(space, machine, **mem_kwargs)
+        alloc = BumpAllocator(space)
+        records = RecordStore(alloc=alloc, mem=mem)
+        return cls(
+            space=space,
+            mem=mem,
+            alloc=alloc,
+            records=records,
+            slow_hash=get_hash(slow_hash),
+        )
+
+    def charge_hash(self, key: bytes) -> None:
+        """Charge the slow-path hash cost for ``key``."""
+        self.mem.tick(self.slow_hash.cost_cycles(len(key)), attr="hash")
+
+    def charge_compare(self) -> None:
+        self.mem.tick(KEY_COMPARE_CYCLES, attr="compare")
+
+
+class Index(abc.ABC):
+    """A key -> record index structure over simulated memory."""
+
+    name: str = "index"
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        self.size = 0
+
+    # -- timed operations (drive the memory model) -----------------------
+
+    @abc.abstractmethod
+    def lookup(self, key: bytes) -> Optional[Record]:
+        """Timed lookup: the getValueSlow path of Fig. 4."""
+
+    @abc.abstractmethod
+    def insert(self, key: bytes, record: Record) -> None:
+        """Timed insert of a new key (SET of a fresh key)."""
+
+    @abc.abstractmethod
+    def remove(self, key: bytes) -> Optional[Record]:
+        """Timed removal; returns the evicted record if present."""
+
+    # -- untimed operations (population / verification) -------------------
+
+    @abc.abstractmethod
+    def build_insert(self, key: bytes, record: Record) -> None:
+        """Install a key without charging simulated time."""
+
+    @abc.abstractmethod
+    def probe(self, key: bytes) -> Optional[Record]:
+        """Untimed functional lookup for verification."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _check_new_key(self, key: bytes) -> None:
+        if not key:
+            raise KVSError("keys must be non-empty byte strings")
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,335 @@
+"""B-tree: the Google cpp-btree benchmark.
+
+A genuine B-tree (key-value pairs in *all* nodes, as cpp-btree stores
+them) with 256-byte nodes.  Each slot holds a 32-byte string object plus
+the record pointer, giving six slots per node; key *data* lives
+out-of-line in the record, so every comparison during binary search costs
+a record access — the pointer chase that keeps even the cache-friendly
+B-tree expensive to traverse and STLT's single-access fast path so
+profitable.
+
+Insert splits full nodes preemptively on the way down (CLRS); remove
+implements the full borrow/merge repertoire with in-node predecessor
+replacement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import KVSError
+from ..mem.types import AccessKind
+from .base import Index, SimContext
+from .records import Record
+
+NODE_BYTES = 256
+#: slots per node: (256 - 16 header) / (32-byte string + 8-byte pointer)
+MAX_KEYS = 6
+#: a split of a full node promotes one key and leaves floor((MAX-1)/2)
+#: in the smaller half, so that is the minimum legal occupancy
+MIN_KEYS = (MAX_KEYS - 1) // 2  # 2
+
+
+class _Node:
+    __slots__ = ("va", "keys", "records", "children")
+
+    def __init__(self, va: int) -> None:
+        self.va = va
+        self.keys: List[bytes] = []
+        self.records: List[Record] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTreeIndex(Index):
+    """cpp-btree-style B-tree over simulated memory."""
+
+    name = "btree"
+
+    def __init__(self, ctx: SimContext, expected_keys: int = 0) -> None:
+        super().__init__(ctx)
+        self.root = self._new_node()
+        self.height = 1
+
+    def _new_node(self) -> _Node:
+        return _Node(self.ctx.alloc.alloc(NODE_BYTES))
+
+    # -- timed access helpers ----------------------------------------------
+
+    def _touch(self, node: _Node, write: bool = False) -> None:
+        self.ctx.mem.access(node.va, NODE_BYTES, write=write,
+                            kind=AccessKind.INDEX)
+
+    def _search_slot(self, node: _Node, key: bytes, timed: bool) -> "tuple[int, bool]":
+        """Binary search in one node; returns (index, exact_match).
+
+        Each comparison step dereferences the probed key's record data,
+        charged when ``timed``.
+        """
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if timed:
+                self.ctx.records.access_for_compare(node.records[mid])
+                self.ctx.charge_compare()
+            probe = node.keys[mid]
+            if key == probe:
+                return mid, True
+            if key < probe:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo, False
+
+    # -- timed operations ----------------------------------------------------
+
+    def lookup(self, key: bytes) -> Optional[Record]:
+        node = self.root
+        while True:
+            self._touch(node)
+            idx, found = self._search_slot(node, key, timed=True)
+            if found:
+                return node.records[idx]
+            if node.leaf:
+                return None
+            node = node.children[idx]
+
+    def insert(self, key: bytes, record: Record) -> None:
+        self._insert(key, record, timed=True)
+
+    def remove(self, key: bytes) -> Optional[Record]:
+        record = self._remove(self.root, key, timed=True)
+        if not self.root.keys and not self.root.leaf:
+            old_root = self.root
+            self.root = self.root.children[0]
+            self.ctx.alloc.free(old_root.va)
+            self.height -= 1
+        return record
+
+    # -- untimed operations -----------------------------------------------
+
+    def build_insert(self, key: bytes, record: Record) -> None:
+        self._insert(key, record, timed=False)
+
+    def probe(self, key: bytes) -> Optional[Record]:
+        node = self.root
+        while True:
+            idx, found = self._search_slot(node, key, timed=False)
+            if found:
+                return node.records[idx]
+            if node.leaf:
+                return None
+            node = node.children[idx]
+
+    # -- insertion ---------------------------------------------------------
+
+    def _insert(self, key: bytes, record: Record, timed: bool) -> None:
+        self._check_new_key(key)
+        if len(self.root.keys) == MAX_KEYS:
+            new_root = self._new_node()
+            new_root.children.append(self.root)
+            self.root = new_root
+            self.height += 1
+            self._split_child(new_root, 0, timed)
+        node = self.root
+        while True:
+            if timed:
+                self._touch(node)
+            idx, found = self._search_slot(node, key, timed)
+            if found:
+                raise KVSError(f"duplicate insert of key {key!r}")
+            if node.leaf:
+                node.keys.insert(idx, key)
+                node.records.insert(idx, record)
+                if timed:
+                    self._touch(node, write=True)
+                self.size += 1
+                return
+            child = node.children[idx]
+            if len(child.keys) == MAX_KEYS:
+                self._split_child(node, idx, timed)
+                # re-decide direction against the promoted key
+                if key == node.keys[idx]:
+                    raise KVSError(f"duplicate insert of key {key!r}")
+                if key > node.keys[idx]:
+                    idx += 1
+                child = node.children[idx]
+            node = child
+
+    def _split_child(self, parent: _Node, idx: int, timed: bool) -> None:
+        child = parent.children[idx]
+        sibling = self._new_node()
+        mid = MAX_KEYS // 2
+        parent.keys.insert(idx, child.keys[mid])
+        parent.records.insert(idx, child.records[mid])
+        sibling.keys = child.keys[mid + 1:]
+        sibling.records = child.records[mid + 1:]
+        child.keys = child.keys[:mid]
+        child.records = child.records[:mid]
+        if not child.leaf:
+            sibling.children = child.children[mid + 1:]
+            child.children = child.children[:mid + 1]
+        parent.children.insert(idx + 1, sibling)
+        if timed:
+            self._touch(child, write=True)
+            self._touch(sibling, write=True)
+            self._touch(parent, write=True)
+
+    # -- removal ------------------------------------------------------------
+
+    def _remove(self, node: _Node, key: bytes, timed: bool) -> Optional[Record]:
+        if timed:
+            self._touch(node)
+        idx, found = self._search_slot(node, key, timed)
+        if found:
+            record = node.records[idx]
+            if node.leaf:
+                node.keys.pop(idx)
+                node.records.pop(idx)
+                if timed:
+                    self._touch(node, write=True)
+            else:
+                self._remove_internal(node, idx, timed)
+            self.size -= 1
+            return record
+        if node.leaf:
+            return None
+        child = self._ensure_min(node, idx, timed)
+        return self._remove(child, key, timed)
+
+    def _remove_internal(self, node: _Node, idx: int, timed: bool) -> None:
+        """Replace an internal slot with its in-order predecessor."""
+        left = node.children[idx]
+        if len(left.keys) > MIN_KEYS:
+            pred_key, pred_rec = self._pop_max(left, timed)
+            node.keys[idx] = pred_key
+            node.records[idx] = pred_rec
+            if timed:
+                self._touch(node, write=True)
+            return
+        right = node.children[idx + 1]
+        if len(right.keys) > MIN_KEYS:
+            succ_key, succ_rec = self._pop_min(right, timed)
+            node.keys[idx] = succ_key
+            node.records[idx] = succ_rec
+            if timed:
+                self._touch(node, write=True)
+            return
+        # both children minimal: merge around the slot, then delete from
+        # the merged child
+        key = node.keys[idx]
+        self._merge_children(node, idx, timed)
+        # the slot key now lives in the merged child; remove it there
+        merged = node.children[idx]
+        self.size += 1  # compensate: recursive call decrements again
+        self._remove(merged, key, timed)
+
+    def _pop_max(self, node: _Node, timed: bool) -> "tuple[bytes, Record]":
+        while not node.leaf:
+            node = self._ensure_min(node, len(node.children) - 1, timed)
+        if timed:
+            self._touch(node, write=True)
+        return node.keys.pop(), node.records.pop()
+
+    def _pop_min(self, node: _Node, timed: bool) -> "tuple[bytes, Record]":
+        while not node.leaf:
+            node = self._ensure_min(node, 0, timed)
+        if timed:
+            self._touch(node, write=True)
+        return node.keys.pop(0), node.records.pop(0)
+
+    def _ensure_min(self, node: _Node, idx: int, timed: bool) -> _Node:
+        """Guarantee children[idx] has > MIN_KEYS before descending."""
+        child = node.children[idx]
+        if len(child.keys) > MIN_KEYS:
+            return child
+        if idx > 0 and len(node.children[idx - 1].keys) > MIN_KEYS:
+            left = node.children[idx - 1]
+            child.keys.insert(0, node.keys[idx - 1])
+            child.records.insert(0, node.records[idx - 1])
+            node.keys[idx - 1] = left.keys.pop()
+            node.records[idx - 1] = left.records.pop()
+            if not left.leaf:
+                child.children.insert(0, left.children.pop())
+            if timed:
+                self._touch(left, write=True)
+                self._touch(child, write=True)
+                self._touch(node, write=True)
+            return child
+        if idx < len(node.children) - 1 and \
+                len(node.children[idx + 1].keys) > MIN_KEYS:
+            right = node.children[idx + 1]
+            child.keys.append(node.keys[idx])
+            child.records.append(node.records[idx])
+            node.keys[idx] = right.keys.pop(0)
+            node.records[idx] = right.records.pop(0)
+            if not right.leaf:
+                child.children.append(right.children.pop(0))
+            if timed:
+                self._touch(right, write=True)
+                self._touch(child, write=True)
+                self._touch(node, write=True)
+            return child
+        if idx < len(node.children) - 1:
+            self._merge_children(node, idx, timed)
+            return node.children[idx]
+        self._merge_children(node, idx - 1, timed)
+        return node.children[idx - 1]
+
+    def _merge_children(self, node: _Node, idx: int, timed: bool) -> None:
+        left = node.children[idx]
+        right = node.children.pop(idx + 1)
+        left.keys.append(node.keys.pop(idx))
+        left.records.append(node.records.pop(idx))
+        left.keys.extend(right.keys)
+        left.records.extend(right.records)
+        left.children.extend(right.children)
+        self.ctx.alloc.free(right.va)
+        if timed:
+            self._touch(left, write=True)
+            self._touch(node, write=True)
+
+    # -- invariants (used by property tests) --------------------------------
+
+    def check_invariants(self) -> None:
+        keys = list(self._iter_keys(self.root))
+        if keys != sorted(keys):
+            raise AssertionError("B-tree keys out of order")
+        if len(keys) != self.size:
+            raise AssertionError("size does not match key count")
+        self._check_node(self.root, is_root=True)
+        depths = set()
+        self._leaf_depths(self.root, 1, depths)
+        if len(depths) > 1:
+            raise AssertionError("leaves at different depths")
+
+    def _iter_keys(self, node: _Node):
+        if node.leaf:
+            yield from node.keys
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._iter_keys(node.children[i])
+            yield key
+        yield from self._iter_keys(node.children[-1])
+
+    def _check_node(self, node: _Node, is_root: bool = False) -> None:
+        if len(node.keys) > MAX_KEYS:
+            raise AssertionError("node over capacity")
+        if not is_root and len(node.keys) < MIN_KEYS:
+            raise AssertionError("node under minimum occupancy")
+        if len(node.keys) != len(node.records):
+            raise AssertionError("keys and records out of sync")
+        if not node.leaf and len(node.children) != len(node.keys) + 1:
+            raise AssertionError("children count mismatch")
+        for child in node.children:
+            self._check_node(child)
+
+    def _leaf_depths(self, node: _Node, depth: int, out: set) -> None:
+        if node.leaf:
+            out.add(depth)
+            return
+        for child in node.children:
+            self._leaf_depths(child, depth + 1, out)

@@ -1,0 +1,107 @@
+"""A Redis-like key-value server model.
+
+Redis 5.0.7's GET path decomposes into (a) command handling — argument
+parsing, type checks, reply construction — and (b) data addressing —
+SipHash over the key, dict traversal, record access, and the address
+translations underneath.  The paper's Fig. 1 measures (b) at over half
+of total time and explicitly excludes network I/O (their runs use Unix
+domain sockets + pipelining to mimic RDMA deployments), so this model
+reproduces the server-side command loop only:
+
+* the dict is a chained hash table (``cache_node_hash=False``: Redis
+  compares sds keys on every chain node) keyed by SipHash;
+* values are robj allocations separate from the key/dictEntry record,
+  as in Redis, adding the second pointer hop per GET;
+* command handling charges a calibrated cycle block plus accesses to the
+  (hot, reused) input and output buffers.
+
+The command-overhead constants are calibrated once against Fig. 1's
+breakdown — see ``benchmarks/bench_fig01_breakdown.py`` — and are *not*
+tuned per experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import KVSError
+from ..mem.types import AccessKind
+from .base import SimContext
+from .chained_hash import ChainedHashIndex
+from .records import Record
+
+#: fixed command-handling work per GET/SET: dispatch, argument and type
+#: validation, reply header formatting (measured categories of Fig. 1
+#: other than addressing and value copy)
+COMMAND_OVERHEAD_CYCLES = 210
+
+#: bytes of the request read from / reply written to the client buffers
+REQUEST_BYTES = 64
+
+
+class RedisModel:
+    """The simulated Redis server: dict + robj values + command loop."""
+
+    name = "redis"
+
+    def __init__(self, ctx: SimContext, expected_keys: int) -> None:
+        if ctx.slow_hash.name != "siphash":
+            raise KVSError("Redis's dict is keyed by SipHash")
+        self.ctx = ctx
+        self.index = ChainedHashIndex(
+            ctx, expected_keys=expected_keys, cache_node_hash=False
+        )
+        self.index.name = "redis"
+        # client I/O buffers: small, reused, therefore cache-resident
+        self._query_buf_va = ctx.space.alloc_region(16 * 1024)
+        self._reply_buf_va = ctx.space.alloc_region(16 * 1024)
+        self._buf_cursor = 0
+        self.gets = 0
+        self.sets = 0
+
+    # -- command framing ----------------------------------------------------
+
+    def begin_command(self) -> None:
+        """Parse/dispatch work happening before the key is looked up."""
+        mem = self.ctx.mem
+        mem.tick(COMMAND_OVERHEAD_CYCLES, attr="command")
+        # the request is read from the (hot) query buffer; the cursor
+        # walks the buffer like Redis's qb_pos does
+        self._buf_cursor = (self._buf_cursor + REQUEST_BYTES) % (8 * 1024)
+        mem.access(self._query_buf_va + self._buf_cursor, REQUEST_BYTES,
+                   kind=AccessKind.OTHER)
+
+    def end_command(self, value_size: int) -> None:
+        """Reply construction after the value is in hand."""
+        mem = self.ctx.mem
+        mem.access(self._reply_buf_va + self._buf_cursor,
+                   min(value_size + 32, REQUEST_BYTES * 4), write=True,
+                   kind=AccessKind.OTHER)
+
+    # -- data plane ----------------------------------------------------------
+
+    def create_record(self, key: bytes, value_size: int) -> Record:
+        """Allocate the Redis representation of one key-value pair."""
+        return self.ctx.records.create_external(key, value_size)
+
+    def populate(self, key: bytes, value_size: int) -> Record:
+        """Untimed install of a key during store construction."""
+        record = self.create_record(key, value_size)
+        self.index.build_insert(key, record)
+        return record
+
+    def lookup(self, key: bytes) -> Optional[Record]:
+        """The dict lookup component (timed); no command framing."""
+        return self.index.lookup(key)
+
+    def set_existing(self, record: Record) -> None:
+        """SET to a live key: overwrite the value object in place."""
+        self.ctx.records.write_value(record)
+        self.sets += 1
+
+    def insert_new(self, key: bytes, value_size: int) -> Record:
+        """SET of a fresh key: allocate and link into the dict (timed)."""
+        record = self.create_record(key, value_size)
+        self.index.insert(key, record)
+        self.sets += 1
+        return record

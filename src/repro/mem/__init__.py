@@ -1,0 +1,32 @@
+"""Memory-hierarchy substrate: caches, TLBs, page table, DRAM, prefetchers.
+
+The package models the machine of Table III of the paper as a trace-driven
+timing simulator.  The central entry point is
+:class:`repro.mem.hierarchy.MemorySystem`, which routes every simulated
+memory access through the TLBs, the (optional) system translation buffer,
+the page-table walker, and the three-level data-cache hierarchy.
+"""
+
+from .address_space import AddressSpace
+from .allocator import BumpAllocator
+from .cache import Cache
+from .dram import DRAM
+from .hierarchy import MemorySystem
+from .page_table import PageTable, PageTableWalker
+from .stats import MemoryStats
+from .tlb import TLB, TLBHierarchy
+from .types import AccessKind
+
+__all__ = [
+    "AccessKind",
+    "AddressSpace",
+    "BumpAllocator",
+    "Cache",
+    "DRAM",
+    "MemorySystem",
+    "MemoryStats",
+    "PageTable",
+    "PageTableWalker",
+    "TLB",
+    "TLBHierarchy",
+]

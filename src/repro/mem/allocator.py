@@ -1,0 +1,98 @@
+"""Simulated user-space heap allocator.
+
+Index nodes and key-value records live at virtual addresses handed out by
+this allocator.  It is a size-class bump allocator in the style of jemalloc
+(which Redis uses): each size class carves objects out of its own runs of
+pages.  Freed objects go on a per-class free list and are reused LIFO.
+
+The layout consequences matter for the experiments: objects of one size
+class are densely packed (64-byte records pack 64 per page), different
+classes live on different pages, and a long-running store's records end
+up scattered across many pages — the reason TLB reach is exceeded in the
+paper's workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import AllocationError, ConfigError
+from ..params import PAGE_BYTES
+from .address_space import AddressSpace
+
+#: jemalloc-like small size classes (bytes), followed by page-multiple
+#: classes generated on demand for large objects.
+_BASE_CLASSES = [
+    8, 16, 24, 32, 40, 48, 56, 64, 80, 96, 112, 128,
+    160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024,
+    1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096,
+]
+
+#: Pages fetched from the address space per size-class refill.
+_RUN_PAGES = 16
+
+
+class BumpAllocator:
+    """Size-class segregated allocator over an :class:`AddressSpace`."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        self._cursor: Dict[int, int] = {}
+        self._limit: Dict[int, int] = {}
+        self._free: Dict[int, List[int]] = {}
+        self._size_of: Dict[int, int] = {}
+        self.bytes_allocated = 0
+        self.objects_live = 0
+
+    @staticmethod
+    def size_class(size: int) -> int:
+        """Round a request up to its size class."""
+        if size <= 0:
+            raise ConfigError("allocation size must be positive")
+        for cls in _BASE_CLASSES:
+            if size <= cls:
+                return cls
+        # large objects: whole pages
+        return ((size + PAGE_BYTES - 1) // PAGE_BYTES) * PAGE_BYTES
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the object's virtual address."""
+        cls = self.size_class(size)
+        free = self._free.get(cls)
+        if free:
+            va = free.pop()
+        else:
+            va = self._bump(cls)
+        self._size_of[va] = cls
+        self.bytes_allocated += cls
+        self.objects_live += 1
+        return va
+
+    def free(self, va: int) -> None:
+        """Return an object to its size-class free list."""
+        cls = self._size_of.pop(va, None)
+        if cls is None:
+            raise AllocationError(f"free of unallocated address {va:#x}")
+        self._free.setdefault(cls, []).append(va)
+        self.bytes_allocated -= cls
+        self.objects_live -= 1
+
+    def allocated_size(self, va: int) -> int:
+        """Size class of a live object (raises if not live)."""
+        cls = self._size_of.get(va)
+        if cls is None:
+            raise AllocationError(f"{va:#x} is not a live allocation")
+        return cls
+
+    def _bump(self, cls: int) -> int:
+        cursor = self._cursor.get(cls, 0)
+        limit = self._limit.get(cls, 0)
+        if cursor + cls > limit:
+            run_bytes = max(_RUN_PAGES * PAGE_BYTES, cls)
+            base = self.space.alloc_region(run_bytes)
+            cursor = base
+            limit = base + run_bytes
+            self._limit[cls] = limit
+        va = cursor
+        self._cursor[cls] = cursor + cls
+        return va

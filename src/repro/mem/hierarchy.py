@@ -1,0 +1,359 @@
+"""The memory system: TLBs -> (STB) -> page walk; L1 -> L2 -> L3 -> DRAM.
+
+This is the timing heart of the simulator.  Every simulated memory access
+of the key-value store flows through :meth:`MemorySystem.access`:
+
+1. The virtual page number is translated by the L1 D-TLB, then the L2
+   shared TLB.  On an L2 miss, if a system translation buffer (STB) has
+   been attached by the STLT runtime, it is probed next (Fig. 8b of the
+   paper); a hit refills the TLBs and skips the walk entirely.  Otherwise
+   the hardware page-table walker loads PTEs through the data caches.
+2. Each cache line spanned by the access is looked up in L1/L2/L3, and
+   on a full miss fetched from DRAM (which models channel queueing).
+
+Kernel-physical accesses (the STLT rows read and written by the STU) use
+:meth:`MemorySystem.physical_access`, which skips the TLBs — the STU
+addresses the STLT physically via the CR_S register — but shares the data
+caches, so STLT rows compete for cache space exactly like data.
+
+The system keeps a monotonically advancing cycle clock ``now`` used by
+the DRAM channel model; functional (non-memory) work advances it via
+:meth:`tick`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..errors import PageFault
+from ..params import (
+    CACHE_LINE_BYTES,
+    PAGE_BYTES,
+    PAGE_SHIFT,
+    DEFAULT_MACHINE,
+    MachineParams,
+)
+from .address_space import AddressSpace
+from .cache import Cache
+from .dram import DRAM
+from .page_table import PageTableWalker
+from .prefetch import DistanceTLBPrefetcher, StreamPrefetcher, VLDPPrefetcher
+from .stats import MemoryStats
+from .tlb import TLB, TLBHierarchy
+from .types import AccessKind, AccessResult
+
+_LINE_SHIFT = 6
+assert (1 << _LINE_SHIFT) == CACHE_LINE_BYTES
+
+
+class MemorySystem:
+    """Timing model of the machine in Table III."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        machine: MachineParams = DEFAULT_MACHINE,
+        stream_prefetcher: Optional[StreamPrefetcher] = None,
+        vldp_prefetcher: Optional[VLDPPrefetcher] = None,
+        tlb_prefetcher: Optional[DistanceTLBPrefetcher] = None,
+    ) -> None:
+        machine.validate()
+        self.space = space
+        self.machine = machine
+        self.l1 = Cache(machine.l1d)
+        self.l2 = Cache(machine.l2)
+        self.l3 = Cache(machine.l3)
+        self.dram = DRAM(machine.dram)
+        self.tlbs = TLBHierarchy(TLB(machine.dtlb), TLB(machine.stlb))
+        self.walker = PageTableWalker(space.page_table, self._pte_cache_access)
+        self.stats = MemoryStats()
+        self.now = 0
+
+        #: attached by the STLT runtime (duck-typed: .probe(vpn) -> pfn|None)
+        self.stb = None
+        self.stb_probe_cycles = machine.instr.stb_probe_cycles
+
+        self.stream_prefetcher = stream_prefetcher
+        self.vldp_prefetcher = vldp_prefetcher
+        self.tlb_prefetcher = tlb_prefetcher
+        self._prefetched_lines: Set[int] = set()
+        self._prefetched_vpns: Set[int] = set()
+
+        #: cycle attribution by category, powering the Fig. 1 breakdown:
+        #: access cycles split into 'translation' vs. the access's kind;
+        #: tick() callers can attribute functional work ('hash', ...)
+        self.attr: dict = {}
+
+        # the OS always flushes stale translations before changing a PTE
+        # (flush_tlb_*); the STLT-specific IPB protocol is layered on top
+        # by repro.core.os_interface
+        space.invalidation_hooks.append(self._on_page_invalidate)
+
+    def _on_page_invalidate(self, vpn: int) -> None:
+        self.tlbs.invalidate(vpn)
+        if self.stb is not None:
+            self.stb.invalidate(vpn)
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+
+    def tick(self, cycles: int, attr: Optional[str] = None) -> None:
+        """Advance the clock for functional (non-memory) work."""
+        self.now += cycles
+        self.stats.total_cycles += cycles
+        if attr is not None:
+            self.attr[attr] = self.attr.get(attr, 0) + cycles
+
+    # ------------------------------------------------------------------
+    # cache path (physically addressed)
+    # ------------------------------------------------------------------
+
+    def _line_access(self, line_addr: int, demand: bool = True,
+                     at: int = -1) -> int:
+        """One line through L1 -> L2 -> L3 -> DRAM; returns latency.
+
+        ``at`` is the cycle the request reaches the hierarchy (DRAM
+        queueing is computed against it); -1 means "now".  The L1-hit
+        case is inlined against the cache's internals: this function runs
+        once per simulated line and dominates wall-clock time, and the L1
+        hit rate is high.
+        """
+        l1 = self.l1
+        s = l1._sets[line_addr & l1._set_mask]
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            l1.hits += 1
+            self.stats.l1_hits += 1
+            return l1.latency
+        l1.misses += 1
+        cycles = l1.latency
+        self.stats.l1_misses += 1
+        cycles += self.l2.latency
+        if self.l2.lookup(line_addr):
+            self.stats.l2_hits += 1
+            self.l1.insert(line_addr)
+            return cycles
+        self.stats.l2_misses += 1
+        cycles += self.l3.latency
+        llc_hit = self.l3.lookup(line_addr)
+        if llc_hit:
+            self.stats.l3_hits += 1
+            if demand and line_addr in self._prefetched_lines:
+                self.stats.prefetches_useful += 1
+                self._prefetched_lines.discard(line_addr)
+        else:
+            self.stats.l3_misses += 1
+            if at < 0:
+                at = self.now
+            dram_latency = self.dram.access(at + cycles)
+            cycles += dram_latency
+            self.stats.dram_accesses += 1
+            self.stats.dram_queue_cycles = self.dram.queue_cycles
+            self._insert_l3(line_addr)
+        self.l2.insert(line_addr)
+        self.l1.insert(line_addr)
+        if demand:
+            if at < 0:
+                at = self.now
+            self._run_data_prefetchers(line_addr, was_miss=not llc_hit,
+                                       at=at + cycles)
+        return cycles
+
+    def _insert_l3(self, line_addr: int) -> None:
+        victim = self.l3.insert(line_addr)
+        if victim is not None:
+            self._prefetched_lines.discard(victim)
+
+    def _run_data_prefetchers(self, line_addr: int, was_miss: bool,
+                              at: int) -> None:
+        candidates = []
+        if self.stream_prefetcher is not None:
+            candidates += self.stream_prefetcher.observe(line_addr, was_miss)
+        if self.vldp_prefetcher is not None:
+            candidates += self.vldp_prefetcher.observe(line_addr, was_miss)
+        for pf_line in candidates:
+            if self.l3.contains(pf_line):
+                continue
+            # prefetch occupies the DRAM channel from its issue time, but
+            # its own latency is off the program's critical path
+            self.dram.access(at)
+            self.stats.prefetches_issued += 1
+            self._insert_l3(pf_line)
+            self._prefetched_lines.add(pf_line)
+
+    def _pte_cache_access(self, paddr: int) -> int:
+        """PTE loads issued by the page-table walker (cacheable)."""
+        return self._line_access(paddr >> _LINE_SHIFT)
+
+    # ------------------------------------------------------------------
+    # translation path
+    # ------------------------------------------------------------------
+
+    def _translate(self, vpn: int) -> "tuple[int, int, bool, bool]":
+        """Translate a vpn; returns (pfn, cycles, tlb_hit, walked).
+
+        The L1 D-TLB hit is inlined for speed (see _line_access).
+        """
+        dtlb = self.tlbs.l1
+        s = dtlb._sets[vpn % dtlb._num_sets]
+        pfn = s.get(vpn)
+        if pfn is not None:
+            s.move_to_end(vpn)
+            dtlb.hits += 1
+            self.stats.dtlb_hits += 1
+            return pfn, dtlb.latency, True, False
+        dtlb.misses += 1
+        cycles = dtlb.latency
+        self.stats.dtlb_misses += 1
+        cycles += self.tlbs.l2.latency
+        pfn = self.tlbs.l2.lookup(vpn)
+        if pfn is not None:
+            self.stats.stlb_hits += 1
+            self.tlbs.l1.insert(vpn, pfn)
+            if vpn in self._prefetched_vpns:
+                self.stats.tlb_prefetches_useful += 1
+                self._prefetched_vpns.discard(vpn)
+            return pfn, cycles, True, False
+        self.stats.stlb_misses += 1
+
+        if self.stb is not None:
+            cycles += self.stb_probe_cycles
+            pfn = self.stb.probe(vpn)
+            if pfn is not None:
+                self.stats.stb_hits += 1
+                self.tlbs.fill(vpn, pfn)
+                return pfn, cycles, False, False
+            self.stats.stb_misses += 1
+
+        pfn, walk_cycles = self.walker.walk(vpn)
+        cycles += walk_cycles
+        self.stats.page_walks += 1
+        self.stats.walk_cycles += walk_cycles
+        if pfn is None:
+            raise PageFault(vpn << PAGE_SHIFT)
+        self.tlbs.fill(vpn, pfn)
+        self._run_tlb_prefetcher(vpn)
+        return pfn, cycles, False, True
+
+    def _run_tlb_prefetcher(self, vpn: int) -> None:
+        if self.tlb_prefetcher is None:
+            return
+        for pf_vpn in self.tlb_prefetcher.observe_miss(vpn):
+            if self.tlbs.l2.contains(pf_vpn):
+                continue
+            pf_pfn = self.space.page_table.lookup(pf_vpn)
+            self.stats.tlb_prefetches_issued += 1
+            if pf_pfn is not None:
+                self.tlbs.l2.insert(pf_vpn, pf_pfn)
+                self._prefetched_vpns.add(pf_vpn)
+
+    # ------------------------------------------------------------------
+    # public access API
+    # ------------------------------------------------------------------
+
+    def access(
+        self,
+        vaddr: int,
+        size: int = 8,
+        write: bool = False,
+        kind: AccessKind = AccessKind.OTHER,
+    ) -> AccessResult:
+        """Perform one virtually addressed access of ``size`` bytes."""
+        stats = self.stats
+        stats.accesses += 1
+        if write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+
+        first_line = vaddr >> _LINE_SHIFT
+        last_line = (vaddr + max(size, 1) - 1) >> _LINE_SHIFT
+
+        if first_line == last_line:
+            # fast path: the overwhelmingly common single-line access
+            vpn = vaddr >> PAGE_SHIFT
+            pfn, t_cycles, tlb_hit, walked = self._translate(vpn)
+            paddr_line = ((pfn << PAGE_SHIFT) |
+                          (vaddr & (PAGE_BYTES - 1))) >> _LINE_SHIFT
+            cycles = t_cycles + self._line_access(
+                paddr_line, at=self.now + t_cycles)
+            self.now += cycles
+            stats.total_cycles += cycles
+            attr = self.attr
+            attr["translation"] = attr.get("translation", 0) + t_cycles
+            data_cycles = cycles - t_cycles
+            attr[kind.value] = attr.get(kind.value, 0) + data_cycles
+            return AccessResult(
+                cycles=cycles,
+                tlb_hit=tlb_hit,
+                stb_hit=not tlb_hit and not walked,
+                walked=walked,
+                lines_touched=1,
+            )
+
+        cycles = 0
+        translation_cycles = 0
+        tlb_hit = True
+        stb_hit = False
+        walked = False
+        last_vpn = -1
+        pfn = 0
+        for line in range(first_line, last_line + 1):
+            line_va = line << _LINE_SHIFT
+            vpn = line_va >> PAGE_SHIFT
+            if vpn != last_vpn:
+                pfn, t_cycles, t_hit, t_walked = self._translate(vpn)
+                cycles += t_cycles
+                translation_cycles += t_cycles
+                tlb_hit = tlb_hit and t_hit
+                walked = walked or t_walked
+                if not t_hit and not t_walked:
+                    stb_hit = True
+                last_vpn = vpn
+            paddr_line = ((pfn << PAGE_SHIFT) | (line_va & (PAGE_BYTES - 1))) \
+                >> _LINE_SHIFT
+            cycles += self._line_access(paddr_line, at=self.now + cycles)
+
+        self.now += cycles
+        self.stats.total_cycles += cycles
+        attr = self.attr
+        attr["translation"] = attr.get("translation", 0) + translation_cycles
+        data_cycles = cycles - translation_cycles
+        attr[kind.value] = attr.get(kind.value, 0) + data_cycles
+        return AccessResult(
+            cycles=cycles,
+            tlb_hit=tlb_hit,
+            stb_hit=stb_hit,
+            walked=walked,
+            lines_touched=last_line - first_line + 1,
+        )
+
+    def physical_access(self, paddr: int, size: int = 8) -> int:
+        """Physically addressed access (STU traffic to STLT rows).
+
+        Skips the TLBs — the STU computes the row's physical address from
+        CR_S directly — but goes through the shared data caches.  Returns
+        the latency in cycles and advances the clock.
+        """
+        self.stats.accesses += 1
+        self.stats.reads += 1
+        cycles = 0
+        first_line = paddr >> _LINE_SHIFT
+        last_line = (paddr + max(size, 1) - 1) >> _LINE_SHIFT
+        for line in range(first_line, last_line + 1):
+            cycles += self._line_access(line, at=self.now + cycles)
+        self.now += cycles
+        self.stats.total_cycles += cycles
+        self.attr["stlt"] = self.attr.get("stlt", 0) + cycles
+        return cycles
+
+    def tlb_flush(self) -> None:
+        self.tlbs.flush()
+
+    def attach_stb(self, stb) -> None:
+        """Attach a system translation buffer to the TLB-miss path."""
+        self.stb = stb
+
+    def detach_stb(self) -> None:
+        self.stb = None

@@ -1,0 +1,99 @@
+"""Statistic bundles for the memory hierarchy.
+
+Statistics are plain attribute counters rather than dict lookups so the
+hot path (one increment per event) stays cheap in pure Python.  The
+:meth:`MemoryStats.snapshot` / :meth:`MemoryStats.delta` pair supports the
+paper's methodology of warming up on 80% of the accesses and measuring
+only the remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class MemoryStats:
+    """Counters for one :class:`~repro.mem.hierarchy.MemorySystem`."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    dtlb_hits: int = 0
+    dtlb_misses: int = 0
+    stlb_hits: int = 0
+    stlb_misses: int = 0
+    stb_hits: int = 0
+    stb_misses: int = 0
+    page_walks: int = 0
+    walk_cycles: int = 0
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+
+    dram_accesses: int = 0
+    dram_queue_cycles: int = 0
+
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0
+    tlb_prefetches_issued: int = 0
+    tlb_prefetches_useful: int = 0
+
+    total_cycles: int = 0
+
+    def snapshot(self) -> "MemoryStats":
+        """Return an independent copy of the current counters."""
+        return MemoryStats(
+            **{f.name: getattr(self, f.name) for f in fields(MemoryStats)}
+        )
+
+    def delta(self, since: "MemoryStats") -> "MemoryStats":
+        """Return counters accumulated since ``since`` was snapshotted."""
+        return MemoryStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(MemoryStats)
+            }
+        )
+
+    # -- derived ratios ------------------------------------------------
+
+    @property
+    def tlb_misses(self) -> int:
+        """Misses that had to leave the TLB hierarchy (L2 TLB misses)."""
+        return self.stlb_misses
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        return self.stlb_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_misses / total if total else 0.0
+
+    @property
+    def llc_miss_rate(self) -> float:
+        total = self.l3_hits + self.l3_misses
+        return self.l3_misses / total if total else 0.0
+
+    @property
+    def cache_misses(self) -> int:
+        """Combined data-cache misses (the paper's 'cache misses')."""
+        return self.l1_misses
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        if not self.prefetches_issued:
+            return 0.0
+        return self.prefetches_useful / self.prefetches_issued
+
+    def merge(self, other: "MemoryStats") -> None:
+        """Accumulate ``other`` into this bundle in place."""
+        for f in fields(MemoryStats):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))

@@ -1,0 +1,117 @@
+"""TLB models: a set-associative TLB level and the two-level hierarchy.
+
+Table III: L1 D-TLB is 4-way, 64 entries, 1 cycle; the L2 shared TLB is
+4-way, 1536 entries, 7 cycles.  Both map virtual page numbers to physical
+page numbers with LRU replacement within a set.
+
+The L2 TLB of Table III has 1536 entries = 384 sets at 4 ways, which is
+not a power of two; real STLBs use such geometries with modulo indexing,
+so the model indexes sets with ``vpn % num_sets`` instead of masking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..params import TLBParams
+
+
+class TLB:
+    """One TLB level mapping vpn -> pfn, set-associative with LRU."""
+
+    def __init__(self, params: TLBParams) -> None:
+        self.params = params
+        self.name = params.name
+        self.latency = params.latency
+        self._ways = params.ways
+        self._num_sets = params.entries // params.ways
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """Return the pfn for ``vpn`` or None on miss (counts stats)."""
+        s = self._sets[vpn % self._num_sets]
+        pfn = s.get(vpn)
+        if pfn is not None:
+            s.move_to_end(vpn)
+            self.hits += 1
+            return pfn
+        self.misses += 1
+        return None
+
+    def insert(self, vpn: int, pfn: int) -> None:
+        s = self._sets[vpn % self._num_sets]
+        if vpn in s:
+            s[vpn] = pfn
+            s.move_to_end(vpn)
+            return
+        if len(s) >= self._ways:
+            s.popitem(last=False)
+        s[vpn] = pfn
+
+    def contains(self, vpn: int) -> bool:
+        """Presence probe without LRU update or stat counting."""
+        return vpn in self._sets[vpn % self._num_sets]
+
+    def invalidate(self, vpn: int) -> bool:
+        s = self._sets[vpn % self._num_sets]
+        if vpn in s:
+            del s[vpn]
+            return True
+        return False
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TLB({self.name}, {self.params.entries} entries, {self._ways}-way)"
+
+
+class TLBHierarchy:
+    """L1 D-TLB backed by the L2 shared TLB.
+
+    ``translate`` returns ``(pfn_or_None, cycles)``.  An L1 hit costs the
+    L1 latency; an L1 miss probes the L2 and, on an L2 hit, refills the
+    L1.  An L2 miss returns None and leaves the walk to the caller (the
+    memory system decides between the STB and the page-table walker).
+    """
+
+    def __init__(self, l1: TLB, l2: TLB) -> None:
+        self.l1 = l1
+        self.l2 = l2
+
+    def translate(self, vpn: int):
+        pfn = self.l1.lookup(vpn)
+        cycles = self.l1.latency
+        if pfn is not None:
+            return pfn, cycles
+        pfn = self.l2.lookup(vpn)
+        cycles += self.l2.latency
+        if pfn is not None:
+            self.l1.insert(vpn, pfn)
+            return pfn, cycles
+        return None, cycles
+
+    def fill(self, vpn: int, pfn: int) -> None:
+        """Install a translation in both levels (walk or STB refill)."""
+        self.l2.insert(vpn, pfn)
+        self.l1.insert(vpn, pfn)
+
+    def invalidate(self, vpn: int) -> None:
+        self.l1.invalidate(vpn)
+        self.l2.invalidate(vpn)
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()

@@ -1,0 +1,62 @@
+"""Shared value types for the memory subsystem."""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessKind(enum.Enum):
+    """Why a memory access happened; used for statistics attribution.
+
+    The breakdown benchmark (Fig. 1 of the paper) attributes cycles to
+    these categories, so every call into the memory system tags its
+    accesses with one of them.
+    """
+
+    #: hash-table / tree node traversal (indexing data structure)
+    INDEX = "index"
+    #: the key-value record itself (header + key bytes, i.e. the compare
+    #: that finishes *finding* the value — part of addressing)
+    RECORD = "record"
+    #: the value bytes themselves (the payload read, not addressing)
+    VALUE = "value"
+    #: page-table entry loads issued by a walker
+    PTE = "pte"
+    #: STLT row loads/stores issued by the STU
+    STLT = "stlt"
+    #: SLB software-cache table accesses
+    SLB = "slb"
+    #: non-indexing application work (Redis command handling, reply buffers)
+    OTHER = "other"
+    #: hardware prefetch traffic
+    PREFETCH = "prefetch"
+
+
+class AccessResult:
+    """Outcome of one simulated memory access.
+
+    ``cycles`` is the fully exposed latency of the access.  The hit flags
+    describe where the translation was satisfied; accesses spanning
+    multiple lines accumulate latency for every line.
+
+    A plain __slots__ class rather than a dataclass: one of these is
+    created per simulated access, which makes construction cost part of
+    the simulator's hot path.
+    """
+
+    __slots__ = ("cycles", "tlb_hit", "stb_hit", "walked", "lines_touched")
+
+    def __init__(self, cycles: int, tlb_hit: bool, stb_hit: bool,
+                 walked: bool, lines_touched: int) -> None:
+        self.cycles = cycles
+        self.tlb_hit = tlb_hit
+        self.stb_hit = stb_hit
+        self.walked = walked
+        self.lines_touched = lines_touched
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessResult(cycles={self.cycles}, tlb_hit={self.tlb_hit}, "
+            f"stb_hit={self.stb_hit}, walked={self.walked}, "
+            f"lines_touched={self.lines_touched})"
+        )

@@ -1,0 +1,203 @@
+"""Machine description and instruction cost model.
+
+This module is the single source of truth for every architectural
+parameter used by the simulator.  The defaults reproduce Table III of the
+paper (a Gainestown-class core at 2.66 GHz) and the latency model of the
+two new instructions:
+
+* ``loadVA``     — 6 cycles + one STLT set load + a 4-bit counter store
+* ``insertSTLT`` — 4 cycles + a simplified page-table walk + a 16-byte store
+
+The memory-access parts of those latencies are *not* constants here; they
+are produced by the memory hierarchy at run time, exactly as the paper
+models them by inserting loads and stores.  Only the fixed functional
+latencies live in this file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+#: Bytes per cache line (Table III).
+CACHE_LINE_BYTES = 64
+
+#: Bytes per page (Table III).
+PAGE_BYTES = 4096
+
+#: log2 of the page size; used for vpn/offset splitting everywhere.
+PAGE_SHIFT = 12
+
+#: Width of the simulated virtual address space (Section III-G).
+VA_BITS = 48
+
+#: Width of a physical address in the simulated machine (Section III-G
+#: assumes a 36-bit physical *page* number register; we model 44-bit PAs
+#: as the insertion-buffer entry of Table I does).
+PA_BITS = 44
+
+#: Core clock in GHz (Table III).
+CLOCK_GHZ = 2.66
+
+
+def ns_to_cycles(nanoseconds: float, clock_ghz: float = CLOCK_GHZ) -> int:
+    """Convert a latency in nanoseconds to (rounded) core cycles."""
+    return int(round(nanoseconds * clock_ghz))
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+    line_bytes: int = CACHE_LINE_BYTES
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+    def validate(self) -> None:
+        if self.size_bytes % self.line_bytes:
+            raise ConfigError(f"{self.name}: size not a multiple of line size")
+        if self.num_lines % self.ways:
+            raise ConfigError(f"{self.name}: lines not divisible by ways")
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError(f"{self.name}: number of sets must be a power of two")
+
+
+@dataclass(frozen=True)
+class TLBParams:
+    """Geometry and latency of one TLB level."""
+
+    name: str
+    entries: int
+    ways: int
+    latency: int
+
+    @property
+    def num_sets(self) -> int:
+        return self.entries // self.ways
+
+    def validate(self) -> None:
+        # TLBs index sets by vpn % num_sets, so non-power-of-two set
+        # counts (the 384-set L2 STLB of Table III) are legal.
+        if self.entries % self.ways:
+            raise ConfigError(f"{self.name}: entries not divisible by ways")
+        if self.num_sets <= 0:
+            raise ConfigError(f"{self.name}: needs at least one set")
+
+
+@dataclass(frozen=True)
+class DRAMParams:
+    """Main-memory latency and a simple bandwidth (channel occupancy) model.
+
+    ``latency_cycles`` is the unloaded access latency (45 ns in Table III).
+    ``service_cycles`` is how long one line transfer occupies the channel;
+    it creates queueing delay when prefetchers flood memory (Section IV-F:
+    VLDP's 1.54x extra accesses increase memory access latency by 140%).
+    """
+
+    latency_ns: float = 45.0
+    service_cycles: int = 24
+    clock_ghz: float = CLOCK_GHZ
+
+    @property
+    def latency_cycles(self) -> int:
+        return ns_to_cycles(self.latency_ns, self.clock_ghz)
+
+
+@dataclass(frozen=True)
+class InstructionCosts:
+    """Fixed functional latencies of the new instructions (Table III)."""
+
+    load_va_cycles: int = 6
+    insert_stlt_cycles: int = 4
+    #: cycles to write the 4-bit counter update of a loadVA hit
+    counter_store_cycles: int = 1
+    #: cycles for the IPB content-addressable probe performed by loadVA
+    ipb_probe_cycles: int = 1
+    #: cycles for an STB probe on the TLB-miss path (Fig. 8b)
+    stb_probe_cycles: int = 1
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Full simulated machine: Table III of the paper."""
+
+    l1d: CacheParams = field(
+        default_factory=lambda: CacheParams("L1D", 32 * 1024, 8, 4)
+    )
+    l2: CacheParams = field(
+        default_factory=lambda: CacheParams("L2", 256 * 1024, 8, 12)
+    )
+    l3: CacheParams = field(
+        default_factory=lambda: CacheParams("L3", 2 * 1024 * 1024, 8, 40)
+    )
+    dtlb: TLBParams = field(default_factory=lambda: TLBParams("L1-DTLB", 64, 4, 1))
+    stlb: TLBParams = field(
+        default_factory=lambda: TLBParams("L2-STLB", 1536, 4, 7)
+    )
+    dram: DRAMParams = field(default_factory=DRAMParams)
+    instr: InstructionCosts = field(default_factory=InstructionCosts)
+    line_bytes: int = CACHE_LINE_BYTES
+    page_bytes: int = PAGE_BYTES
+
+    def validate(self) -> None:
+        for cache in (self.l1d, self.l2, self.l3):
+            cache.validate()
+        for tlb in (self.dtlb, self.stlb):
+            tlb.validate()
+        if self.page_bytes & (self.page_bytes - 1):
+            raise ConfigError("page size must be a power of two")
+
+
+#: Shared default machine; components copy parameters from it but never
+#: mutate it (the dataclass is frozen).
+DEFAULT_MACHINE = MachineParams()
+DEFAULT_MACHINE.validate()
+
+
+def scaled_machine(factor: int = 8) -> MachineParams:
+    """Table III capacities divided by ``factor`` (latencies unchanged).
+
+    The paper runs 10 M keys (a multi-GB working set) against the 6 MB
+    TLB reach and 2 MB LLC of Table III — a footprint hundreds of times
+    larger than what the hardware covers.  A pure-Python simulation runs
+    ~100 k keys, so with literal Table III capacities the entire store
+    fits in the L2 STLB and L3 and none of the paper's effects appear.
+    Dividing the cache and TLB *capacities* (not latencies, geometries
+    stay set-associative) by ``factor`` restores the paper's
+    footprint-to-reach ratios; DESIGN.md section 1 and EXPERIMENTS.md
+    record the scaling for every experiment.
+    """
+    if factor < 1:
+        raise ConfigError("scale factor must be >= 1")
+
+    def scale(n: int, minimum: int) -> int:
+        return max(n // factor, minimum)
+
+    machine = MachineParams(
+        l1d=CacheParams("L1D", scale(32 * 1024, 4096), 8, 4),
+        l2=CacheParams("L2", scale(256 * 1024, 8192), 8, 12),
+        l3=CacheParams("L3", scale(2 * 1024 * 1024, 16384), 8, 40),
+        dtlb=TLBParams("L1-DTLB", scale(64, 16), 4, 1),
+        stlb=TLBParams("L2-STLB", scale(1536, 64), 4, 7),
+        # channel occupancy scales with the rest of the machine so the
+        # bandwidth-to-working-set ratio stays in the paper's regime
+        # (their runs are heavily memory-bound; see Fig. 19 right)
+        dram=DRAMParams(service_cycles=56),
+    )
+    machine.validate()
+    return machine
+
+
+#: The ratio-preserving machine used by the experiment defaults.
+SCALED_MACHINE = scaled_machine()

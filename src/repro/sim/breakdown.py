@@ -1,0 +1,51 @@
+"""Fig. 1 (right): execution-time breakdown of baseline Redis.
+
+The memory system attributes every cycle to a category while it runs:
+``command`` (parse/dispatch/reply work), ``hash`` (SipHash over the key),
+``index`` (dict bucket + chain node accesses), ``record`` (the key-compare
+read that finishes a lookup), ``value`` (the payload read), ``translation`` (TLB lookups and page walks for
+*all* accesses), ``compare`` and ``other`` (client buffer traffic).
+
+The paper groups hashing + indexing + translation as *addressing* and
+reports it at over 50% of Redis execution time; :func:`addressing_share`
+computes the same grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .config import RunConfig
+from .engine import run_experiment
+from .results import RunResult
+
+#: categories counted as data addressing in the paper's sense: finding
+#: the location of the value that corresponds to a key
+ADDRESSING_CATEGORIES = (
+    "hash", "index", "translation", "compare", "record", "stlt", "slb"
+)
+
+
+@dataclass
+class Breakdown:
+    """Normalised cycle shares by category."""
+
+    shares: Dict[str, float]
+    result: RunResult
+
+    @property
+    def addressing_share(self) -> float:
+        return sum(self.shares.get(c, 0.0) for c in ADDRESSING_CATEGORIES)
+
+    def rows(self):
+        for category in sorted(self.shares, key=self.shares.get, reverse=True):
+            yield category, self.shares[category]
+
+
+def run_breakdown(config: RunConfig) -> Breakdown:
+    """Run a config and normalise its cycle attribution."""
+    result = run_experiment(config)
+    total = max(result.cycles, 1)
+    shares = {k: v / total for k, v in result.attr.items() if v > 0}
+    return Breakdown(shares=shares, result=result)

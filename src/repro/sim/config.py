@@ -1,0 +1,114 @@
+"""Experiment configuration.
+
+One :class:`RunConfig` describes one simulated run: the program (Redis or
+one of the four kernel benchmarks), the workload, the lookup front-end,
+and the machine.  Defaults follow the paper's setup scaled down per
+DESIGN.md section 1: the paper's 10 M keys / 512 MB STLT regime is
+preserved as *ratios* (rows per key, footprint over TLB reach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+from ..params import SCALED_MACHINE, MachineParams
+
+PROGRAMS = ("redis", "unordered_map", "dense_hash_map", "ordered_map", "btree")
+FRONTENDS = ("baseline", "slb", "stlt", "stlt_va", "stlt_sw")
+DISTRIBUTIONS = ("zipf", "latest", "uniform")
+
+#: paper regime: the 512 MB STLT holds 32 M rows for 10 M keys — 3.2 rows
+#: per key (1.25 keys per 4-way set), which is where Table V's conflict
+#: miss rates come from; the default table size targets the same ratio
+DEFAULT_ROWS_PER_KEY = 3.2
+
+
+def _nearest_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p if (p - n) <= (n - p // 2) else p // 2
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything one run needs; hashable and reproducible."""
+
+    program: str = "unordered_map"
+    frontend: str = "baseline"
+    distribution: str = "zipf"
+    value_size: int = 64
+    num_keys: int = 100_000
+    #: measured operations (the paper simulates 128 k key accesses)
+    measure_ops: int = 40_000
+    #: warm-up operations; None -> 4x measured, the paper's 80/20 split
+    warmup_ops: Optional[int] = None
+    stlt_rows: Optional[int] = None
+    stlt_ways: int = 4
+    fast_hash: str = "xxh3"
+    #: SLB cache-table entries; None -> same as stlt_rows (paper's
+    #: same-entry comparison)
+    slb_entries: Optional[int] = None
+    prefetchers: Tuple[str, ...] = ()
+    #: untimed prefill of the fast-path tables at build time: stands in
+    #: for the paper's 80 M-operation warm-up, which a scaled run cannot
+    #: afford to replay (EXPERIMENTS.md, methodology)
+    prefill: bool = True
+    seed: int = 1
+    #: the ratio-preserving scaled machine (params.scaled_machine); pass
+    #: params.DEFAULT_MACHINE for the literal Table III configuration
+    machine: MachineParams = field(default_factory=lambda: SCALED_MACHINE)
+
+    def __post_init__(self) -> None:
+        if self.program not in PROGRAMS:
+            raise ConfigError(f"unknown program {self.program!r}")
+        if self.frontend not in FRONTENDS:
+            raise ConfigError(f"unknown frontend {self.frontend!r}")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ConfigError(f"unknown distribution {self.distribution!r}")
+        if self.num_keys <= 0 or self.measure_ops <= 0:
+            raise ConfigError("key and operation counts must be positive")
+        for name in self.prefetchers:
+            if name not in ("stream", "vldp", "tlb_distance"):
+                raise ConfigError(f"unknown prefetcher {name!r}")
+
+    # -- derived defaults -------------------------------------------------
+
+    @property
+    def effective_warmup_ops(self) -> int:
+        if self.warmup_ops is not None:
+            return self.warmup_ops
+        return 4 * self.measure_ops
+
+    @property
+    def total_ops(self) -> int:
+        return self.effective_warmup_ops + self.measure_ops
+
+    @property
+    def effective_stlt_rows(self) -> int:
+        if self.stlt_rows is not None:
+            return self.stlt_rows
+        return _nearest_pow2(int(self.num_keys * DEFAULT_ROWS_PER_KEY))
+
+    @property
+    def effective_slb_entries(self) -> int:
+        if self.slb_entries is not None:
+            return self.slb_entries
+        return self.effective_stlt_rows
+
+    @property
+    def slow_hash(self) -> str:
+        """Redis hashes with SipHash; the kernels default to Murmur."""
+        return "siphash" if self.program == "redis" else "murmur"
+
+    def with_frontend(self, frontend: str) -> "RunConfig":
+        return replace(self, frontend=frontend)
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.program}/{self.frontend}/{self.distribution}"
+            f"-{self.value_size}B"
+        )

@@ -1,0 +1,94 @@
+"""Run results and the derived metrics the paper reports.
+
+A :class:`RunResult` carries the measured-window statistics of one run.
+Speedups are ratios of cycles per operation against a baseline run, and
+"reductions" (TLB misses, cache misses) are relative count decreases —
+the metrics of Figs. 11-19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..mem.stats import MemoryStats
+
+
+@dataclass
+class RunResult:
+    """Measured-window outcome of one simulated run."""
+
+    label: str
+    frontend: str
+    cycles: int
+    ops: int
+    gets: int
+    sets: int
+    mem: MemoryStats
+    #: cycle attribution by category over the measured window
+    attr: Dict[str, int] = field(default_factory=dict)
+    #: fast-path table miss rate (STLT or SLB), None for baseline
+    fast_miss_rate: Optional[float] = None
+    #: occupancy of the fast-path table at the end of the run
+    fast_occupancy: Optional[int] = None
+    #: bytes of the fast-path table(s)
+    fast_table_bytes: Optional[int] = None
+
+    @property
+    def cycles_per_op(self) -> float:
+        return self.cycles / self.ops if self.ops else 0.0
+
+    @property
+    def tlb_misses(self) -> int:
+        return self.mem.stlb_misses
+
+    @property
+    def cache_misses(self) -> int:
+        return self.mem.l1_misses
+
+    @property
+    def page_walks(self) -> int:
+        return self.mem.page_walks
+
+    def attr_share(self, *categories: str) -> float:
+        """Fraction of measured cycles attributed to ``categories``."""
+        if not self.cycles:
+            return 0.0
+        return sum(self.attr.get(c, 0) for c in categories) / self.cycles
+
+
+def speedup(baseline: RunResult, other: RunResult) -> float:
+    """How much faster ``other`` runs than ``baseline`` (>1 = faster)."""
+    if other.cycles_per_op == 0:
+        return float("inf")
+    return baseline.cycles_per_op / other.cycles_per_op
+
+
+def reduction(baseline_count: int, other_count: int) -> float:
+    """Relative decrease of an event count (negative = increase)."""
+    if baseline_count == 0:
+        return 0.0
+    return (baseline_count - other_count) / baseline_count
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional average for speedups."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Render a fixed-width ASCII table (benchmark output helper)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""SLB: the software search-lookaside-buffer comparator (Wu et al.).
+
+The state-of-the-art software cache the paper compares against: it keeps
+virtual addresses of frequently accessed records in user memory, with a
+log table tracking access frequencies for admission.  Unlike STLT it is
+accessed with ordinary loads and stores (its own lookups suffer TLB and
+cache misses) and it cannot bypass page-table walks for the record
+access.
+"""
+
+from .slb import SLBCache
+
+__all__ = ["SLBCache"]

@@ -1,0 +1,27 @@
+"""YCSB-style workload generation (Section IV-A).
+
+Three key-access distributions — scrambled zipfian (alpha = 0.99),
+latest, and uniform — over 24-byte ``userNNN...`` keys, with 64/128/256
+byte values.  Latest-distribution workloads issue 5% SET operations that
+insert fresh keys; the others are GET-only, as in the paper.
+"""
+
+from .distributions import (
+    KeyChooser,
+    LatestChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from .keys import key_bytes
+from .ycsb import Operation, WorkloadSpec, generate_operations
+
+__all__ = [
+    "KeyChooser",
+    "LatestChooser",
+    "Operation",
+    "UniformChooser",
+    "WorkloadSpec",
+    "ZipfianChooser",
+    "generate_operations",
+    "key_bytes",
+]

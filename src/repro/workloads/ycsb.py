@@ -1,0 +1,72 @@
+"""Workload specification and operation-stream generation (Section IV-A).
+
+A workload is defined by a distribution, a value size, and the SET ratio.
+Per the paper: *"The workloads are all GET operations except for
+workloads with latest distribution, of which 5% of operations are SET
+operations."*  SETs on the latest distribution insert fresh keys (that
+is what makes "latest" meaningful), growing the keyspace as YCSB does.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import ConfigError
+from .distributions import make_chooser
+
+
+class Operation(enum.Enum):
+    GET = "get"
+    SET = "set"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One of the paper's nine (distribution x value size) workloads."""
+
+    distribution: str = "zipf"
+    value_size: int = 64
+    set_fraction: float = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.value_size <= 0:
+            raise ConfigError("value size must be positive")
+        if self.set_fraction is None:
+            # paper default: 5% SETs on latest, GET-only otherwise
+            fraction = 0.05 if self.distribution == "latest" else 0.0
+            object.__setattr__(self, "set_fraction", fraction)
+        if not 0.0 <= self.set_fraction < 1.0:
+            raise ConfigError("set fraction must be in [0, 1)")
+
+    @property
+    def label(self) -> str:
+        return f"{self.distribution}-{self.value_size}B"
+
+
+def generate_operations(
+    spec: WorkloadSpec,
+    num_keys: int,
+    num_ops: int,
+    seed: int = 1,
+) -> Iterator[Tuple[Operation, int]]:
+    """Yield ``(operation, key_id)`` pairs.
+
+    SET operations carry a *new* key id (== current keyspace size); the
+    consumer must create the record, and the chooser is notified so later
+    GETs can draw the fresh key.
+    """
+    if num_ops < 0:
+        raise ConfigError("operation count cannot be negative")
+    chooser = make_chooser(spec.distribution, num_keys, seed=seed)
+    op_rng = random.Random(seed ^ 0x5EED)
+    next_new_id = num_keys
+    for _ in range(num_ops):
+        if spec.set_fraction and op_rng.random() < spec.set_fraction:
+            yield Operation.SET, next_new_id
+            chooser.observe_insert(next_new_id)
+            next_new_id += 1
+        else:
+            yield Operation.GET, chooser.choose()

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvs.base import SimContext
+from repro.mem.address_space import AddressSpace
+from repro.mem.allocator import BumpAllocator
+from repro.mem.hierarchy import MemorySystem
+from repro.params import DEFAULT_MACHINE
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    return AddressSpace()
+
+
+@pytest.fixture
+def mem(space) -> MemorySystem:
+    return MemorySystem(space, DEFAULT_MACHINE)
+
+
+@pytest.fixture
+def alloc(space) -> BumpAllocator:
+    return BumpAllocator(space)
+
+
+@pytest.fixture
+def ctx() -> SimContext:
+    """A full simulation context on the literal Table III machine."""
+    return SimContext.create(slow_hash="murmur")
+
+
+@pytest.fixture
+def redis_ctx() -> SimContext:
+    return SimContext.create(slow_hash="siphash")

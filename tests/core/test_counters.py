@@ -1,0 +1,60 @@
+"""Probabilistic 4-bit counter tests (Section III-E)."""
+
+from repro.core.counters import ProbabilisticCounterPolicy
+from repro.core.row import COUNTER_MAX
+
+
+class TestIncrement:
+    def test_zero_always_increments(self):
+        policy = ProbabilisticCounterPolicy(seed=1)
+        # 2**0 == 1, so the draw is always 0
+        for _ in range(20):
+            assert policy.update(0) == 1
+
+    def test_values_stay_in_range(self):
+        policy = ProbabilisticCounterPolicy(seed=2)
+        value = 0
+        for _ in range(10_000):
+            value = policy.update(value)
+            assert 0 <= value <= COUNTER_MAX
+
+    def test_higher_values_increment_less_often(self):
+        policy = ProbabilisticCounterPolicy(seed=3)
+        low_increments = sum(policy.update(1) > 1 for _ in range(4000))
+        high_increments = sum(policy.update(6) > 6 for _ in range(4000))
+        assert low_increments > high_increments * 4
+
+    def test_expected_rate_roughly_2_to_minus_x(self):
+        policy = ProbabilisticCounterPolicy(seed=4)
+        n = 20_000
+        increments = sum(policy.update(3) == 4 for _ in range(n))
+        # expected rate 1/8; allow generous tolerance
+        assert 0.08 < increments / n < 0.17
+
+    def test_overflow_wraps_to_half_scale(self):
+        policy = ProbabilisticCounterPolicy(seed=5)
+        seen_overflow = False
+        value = COUNTER_MAX
+        for _ in range(2_000_000):
+            new = policy.update(value)
+            if new != value:
+                seen_overflow = True
+                assert new == COUNTER_MAX // 2
+                break
+        assert seen_overflow, "counter at max never overflowed"
+        assert policy.overflows == 1
+
+    def test_negative_value_rejected(self):
+        policy = ProbabilisticCounterPolicy()
+        try:
+            policy.update(-1)
+        except ValueError:
+            return
+        raise AssertionError("negative counter accepted")
+
+    def test_deterministic_under_seed(self):
+        a = ProbabilisticCounterPolicy(seed=9)
+        b = ProbabilisticCounterPolicy(seed=9)
+        seq_a = [a.update(2) for _ in range(100)]
+        seq_b = [b.update(2) for _ in range(100)]
+        assert seq_a == seq_b

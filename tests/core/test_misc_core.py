@@ -1,0 +1,169 @@
+"""Tests for the remaining core pieces: SPTW, insertion buffer,
+multi-table integers, hardware cost, performance monitor."""
+
+import pytest
+
+from repro.core.hwcost import hardware_cost
+from repro.core.insertion_buffer import InsertionBuffer
+from repro.core.monitor import PerformanceMonitor
+from repro.core.multi_table import SharedSTLTNamespace, make_shared_integer
+from repro.core.os_interface import OSInterface
+from repro.core.row import STLTRow
+from repro.core.sptw import SimplifiedPTW
+from repro.core.stu import STU
+from repro.errors import STLTError
+from repro.mem.allocator import BumpAllocator
+from repro.mem.hierarchy import MemorySystem
+from repro.params import DEFAULT_MACHINE
+
+
+class TestSPTW:
+    def test_resolves_mapped_va(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        alloc = BumpAllocator(space)
+        va = alloc.alloc(64)
+        sptw = SimplifiedPTW(mem)
+        pte, cycles = sptw.resolve(va)
+        assert pte >> 12 == space.translate(va) >> 12
+        assert cycles > 0
+
+    def test_fault_returns_null_pte_not_exception(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        sptw = SimplifiedPTW(mem)
+        pte, _ = sptw.resolve(0x7000_0000_0000)
+        assert pte == 0
+        assert sptw.null_ptes == 1
+
+    def test_tlb_shortcut(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        alloc = BumpAllocator(space)
+        va = alloc.alloc(64)
+        mem.access(va, 8)  # warms the TLB
+        sptw = SimplifiedPTW(mem)
+        sptw.resolve(va)
+        assert sptw.tlb_shortcuts == 1
+        assert sptw.walks == 0
+
+
+class TestInsertionBuffer:
+    def test_push_drain_fifo(self):
+        buf = InsertionBuffer()
+        buf.push(0x100, STLTRow(va=0x1000))
+        buf.push(0x200, STLTRow(va=0x2000))
+        paddr, row = buf.drain_one()
+        assert paddr == 0x100 and row.va == 0x1000
+
+    def test_overflow_rejected(self):
+        buf = InsertionBuffer(entries=2)
+        buf.push(1, STLTRow(va=1))
+        buf.push(2, STLTRow(va=2))
+        with pytest.raises(STLTError):
+            buf.push(3, STLTRow(va=3))
+
+    def test_drain_empty_rejected(self):
+        with pytest.raises(STLTError):
+            InsertionBuffer().drain_one()
+
+    def test_high_water_tracking(self):
+        buf = InsertionBuffer()
+        buf.push(1, STLTRow(va=1))
+        buf.push(2, STLTRow(va=2))
+        buf.drain_one()
+        assert buf.high_water == 2
+
+    def test_default_eight_entries(self):
+        assert InsertionBuffer().entries == 8
+
+
+class TestMultiTable:
+    def test_id_replaces_low_bits_only(self):
+        integer = 0xABCDEF123456
+        out = make_shared_integer(integer, table_id=0b10, id_bits=2)
+        assert out & 0b11 == 0b10
+        assert out >> 2 == integer >> 2
+
+    def test_set_index_bits_untouched(self):
+        integer = 0xFFFF_FFFF
+        out = make_shared_integer(integer, 1, 4)
+        assert (out >> 12) == (integer >> 12)
+
+    def test_distinct_ids_never_alias(self):
+        integer = 0x12345678
+        a = make_shared_integer(integer, 0, 2)
+        b = make_shared_integer(integer, 1, 2)
+        assert a != b
+
+    def test_id_out_of_range(self):
+        with pytest.raises(STLTError):
+            make_shared_integer(1, table_id=4, id_bits=2)
+        with pytest.raises(STLTError):
+            make_shared_integer(1, table_id=0, id_bits=0)
+
+    def test_namespace_assigns_unique_ids(self):
+        ns = SharedSTLTNamespace(id_bits=2)
+        ids = [ns.register() for _ in range(4)]
+        assert ids == [0, 1, 2, 3]
+        with pytest.raises(STLTError):
+            ns.register()
+
+
+class TestHardwareCost:
+    def test_reproduces_table_i_exactly(self):
+        report = hardware_cost()
+        assert report.components["CR_S"] == 64
+        assert report.components["Invalid page buffer"] == 1158
+        assert report.components["STB"] == 4096
+        assert report.components["Insertion buffer"] == 1376
+        assert report.total_bits == 6694
+        assert report.total_bytes == 837
+
+    def test_under_1kb_claim(self):
+        assert hardware_cost().total_bytes < 1024
+
+    def test_scales_with_entries(self):
+        bigger = hardware_cost(stb_entries=64)
+        assert bigger.components["STB"] == 8192
+
+
+class TestMonitor:
+    def _rig(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        stu = STU(mem)
+        osi = OSInterface(space, mem, stu)
+        osi.stlt_alloc(1 << 8)
+        return mem, stu
+
+    def test_disables_stlt_when_it_hurts(self, space):
+        mem, stu = self._rig(space)
+        monitor = PerformanceMonitor(stu, window_ops=10)
+        # simulate: STLT-on ops are slower than off ops
+        for phase_cost in (100, 10):  # on, then off
+            for _ in range(10):
+                mem.tick(phase_cost)
+                monitor.record_op()
+        assert monitor.decisions == 1
+        assert not monitor.stlt_enabled
+
+    def test_keeps_stlt_when_it_helps(self, space):
+        mem, stu = self._rig(space)
+        monitor = PerformanceMonitor(stu, window_ops=10)
+        for phase_cost in (10, 100):
+            for _ in range(10):
+                mem.tick(phase_cost)
+                monitor.record_op()
+        assert monitor.stlt_enabled
+
+    def test_reprobes_after_backoff(self, space):
+        mem, stu = self._rig(space)
+        monitor = PerformanceMonitor(stu, window_ops=4, backoff_windows=2)
+        # first decision: disable (on-window slower)
+        for phase_cost in (100, 10):
+            for _ in range(4):
+                mem.tick(phase_cost)
+                monitor.record_op()
+        assert not monitor.stlt_enabled
+        # after backoff windows pass, the monitor re-enables to probe
+        for _ in range(2 * 4):
+            mem.tick(10)
+            monitor.record_op()
+        assert stu.enabled  # probing phase begins with STLT on

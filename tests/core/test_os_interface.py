@@ -1,0 +1,137 @@
+"""OS interface tests: syscalls, coherence hook, context switches."""
+
+import pytest
+
+from repro.core.ipb import IPB_ENTRIES
+from repro.core.os_interface import OSInterface
+from repro.core.stu import STU
+from repro.errors import STLTError
+from repro.mem.allocator import BumpAllocator
+from repro.mem.hierarchy import MemorySystem
+from repro.params import DEFAULT_MACHINE
+
+
+@pytest.fixture
+def rig(space):
+    mem = MemorySystem(space, DEFAULT_MACHINE)
+    stu = STU(mem)
+    osi = OSInterface(space, mem, stu)
+    alloc = BumpAllocator(space)
+    return space, mem, stu, osi, alloc
+
+
+class TestSyscalls:
+    def test_alloc_places_stlt_in_kernel_space(self, rig):
+        space, _, stu, osi, _ = rig
+        stlt = osi.stlt_alloc(1 << 8)
+        assert stlt.base_pa is not None
+        assert stu.crs.enabled
+        assert stu.crs.num_rows == 1 << 8
+
+    def test_one_stlt_per_process(self, rig):
+        _, _, _, osi, _ = rig
+        osi.stlt_alloc(1 << 8)
+        with pytest.raises(STLTError):
+            osi.stlt_alloc(1 << 8)
+
+    def test_resize_clears_content(self, rig):
+        _, _, stu, osi, alloc = rig
+        osi.stlt_alloc(1 << 8)
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x1234, va)
+        new = osi.stlt_resize(1 << 10)
+        assert new.num_rows == 1 << 10
+        assert new.occupancy == 0
+        assert stu.load_va(0x1234).missed
+
+    def test_free_clears_crs(self, rig):
+        _, _, stu, osi, _ = rig
+        osi.stlt_alloc(1 << 8)
+        osi.stlt_free()
+        assert not stu.crs.enabled
+        with pytest.raises(STLTError):
+            osi.stlt_free()
+
+    def test_resize_without_alloc_rejected(self, rig):
+        _, _, _, osi, _ = rig
+        with pytest.raises(STLTError):
+            osi.stlt_resize(1 << 8)
+
+
+class TestLazyCoherence:
+    def _hot_row(self, rig):
+        space, _, stu, osi, alloc = rig
+        osi.stlt_alloc(1 << 8)
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x4040, va)
+        return space, stu, osi, alloc, va
+
+    def test_page_invalidation_fills_ipb(self, rig):
+        space, stu, osi, alloc, va = self._hot_row(rig)
+        space.migrate_page(va)
+        assert stu.ipb.contains(va >> 12)
+
+    def test_loadva_filtered_after_invalidation(self, rig):
+        space, stu, _, _, va = self._hot_row(rig)
+        space.migrate_page(va)
+        result = stu.load_va(0x4040)
+        assert result.missed
+        assert result.ipb_filtered
+
+    def test_tlb_and_stb_invalidated(self, rig):
+        space, stu, _, _, va = self._hot_row(rig)
+        mem = stu.mem
+        mem.access(va, 8)  # loads the TLB
+        space.migrate_page(va)
+        assert not mem.tlbs.l1.contains(va >> 12)
+        assert not mem.tlbs.l2.contains(va >> 12)
+        assert stu.stb.probe(va >> 12) is None
+
+    def test_ipb_overflow_scrubs_stlt(self, rig):
+        space, _, stu, osi, alloc = rig
+        osi.stlt_alloc(1 << 8)
+        # one hot row, then enough invalidations to overflow the IPB
+        target = alloc.alloc(64)
+        stu.insert_stlt(0x7070, target)
+        space.migrate_page(target)  # targets the hot row's page
+        pages = [space.alloc_region(4096) for _ in range(IPB_ENTRIES + 4)]
+        for page in pages:
+            space.unmap_page(page)
+        assert osi.scrubs >= 1
+        # the row for the migrated page must be gone even though the IPB
+        # was cleared during the overflow
+        result = stu.load_va(0x7070)
+        assert result.missed
+
+    def test_scrub_removes_only_invalidated_pages(self, rig):
+        space, _, stu, osi, alloc = rig
+        osi.stlt_alloc(1 << 8)
+        keep = alloc.alloc(64)
+        stu.insert_stlt(0x1111, keep)
+        # overflow the IPB with unrelated pages
+        for _ in range(IPB_ENTRIES + 4):
+            page = space.alloc_region(4096)
+            space.unmap_page(page)
+        assert stu.load_va(0x1111).va == keep
+
+
+class TestContextSwitch:
+    def test_switch_out_clears_ipb(self, rig):
+        space, _, stu, osi, alloc = rig
+        osi.stlt_alloc(1 << 8)
+        va = alloc.alloc(64)
+        space.migrate_page(va)
+        assert len(stu.ipb) == 1
+        osi.context_switch_out()
+        assert len(stu.ipb) == 0
+
+    def test_switch_in_replays_kernel_array(self, rig):
+        space, _, stu, osi, alloc = rig
+        osi.stlt_alloc(1 << 8)
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x2222, va)
+        space.migrate_page(va)
+        osi.context_switch_out()
+        osi.context_switch_in()
+        # protection is restored: the stale row is still filtered
+        assert stu.load_va(0x2222).missed

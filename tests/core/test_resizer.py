@@ -1,0 +1,123 @@
+"""Adaptive STLT resizing tests (Section III-F performance guarantee)."""
+
+import pytest
+
+from repro.core.os_interface import OSInterface
+from repro.core.resizer import AdaptiveResizer
+from repro.core.stu import STU
+from repro.errors import ConfigError
+from repro.mem.allocator import BumpAllocator
+from repro.mem.hierarchy import MemorySystem
+from repro.params import DEFAULT_MACHINE
+
+
+@pytest.fixture
+def rig(space):
+    mem = MemorySystem(space, DEFAULT_MACHINE)
+    stu = STU(mem)
+    osi = OSInterface(space, mem, stu)
+    osi.stlt_alloc(1 << 10)
+    alloc = BumpAllocator(space)
+    return stu, osi, alloc
+
+
+def drive(stu, alloc, resizer, hits, misses):
+    """Generate a window with the requested hit/miss mix."""
+    va = alloc.alloc(64)
+    stu.insert_stlt(0xBEEF000, va)
+    for _ in range(hits):
+        assert stu.load_va(0xBEEF000).hit
+        resizer.record_op()
+    for i in range(misses):
+        stu.load_va(0x1_0000_0000 + (i << 12))
+        resizer.record_op()
+
+
+class TestValidation:
+    def test_requires_stlt(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        stu = STU(mem)
+        osi = OSInterface(space, mem, stu)
+        with pytest.raises(ConfigError):
+            AdaptiveResizer(osi)
+
+    def test_threshold_ordering(self, rig):
+        _, osi, _ = rig
+        with pytest.raises(ConfigError):
+            AdaptiveResizer(osi, grow_above=0.01, shrink_below=0.5)
+
+    def test_bounds_ordering(self, rig):
+        _, osi, _ = rig
+        with pytest.raises(ConfigError):
+            AdaptiveResizer(osi, min_rows=1 << 20, max_rows=1 << 10)
+
+
+class TestGrowth:
+    def test_high_miss_ratio_grows_table(self, rig):
+        stu, osi, alloc = rig
+        resizer = AdaptiveResizer(osi, window_ops=100, grow_above=0.2)
+        drive(stu, alloc, resizer, hits=10, misses=90)
+        assert resizer.grows == 1
+        assert osi.stlt.num_rows == 1 << 11
+
+    def test_growth_respects_max(self, rig):
+        stu, osi, alloc = rig
+        resizer = AdaptiveResizer(osi, window_ops=50, grow_above=0.2,
+                                  max_rows=1 << 10)
+        drive(stu, alloc, resizer, hits=0, misses=50)
+        assert resizer.grows == 0
+        assert osi.stlt.num_rows == 1 << 10
+
+    def test_low_miss_ratio_does_not_grow(self, rig):
+        stu, osi, alloc = rig
+        resizer = AdaptiveResizer(osi, window_ops=100, grow_above=0.2)
+        drive(stu, alloc, resizer, hits=95, misses=5)
+        assert resizer.grows == 0
+
+
+class TestShrink:
+    def test_sustained_quiet_windows_shrink(self, rig):
+        stu, osi, alloc = rig
+        resizer = AdaptiveResizer(osi, window_ops=50, shrink_below=0.05,
+                                  shrink_patience=2, min_rows=1 << 8)
+        for _ in range(2):
+            drive(stu, alloc, resizer, hits=50, misses=0)
+        assert resizer.shrinks == 1
+        assert osi.stlt.num_rows == 1 << 9
+
+    def test_single_quiet_window_is_not_enough(self, rig):
+        stu, osi, alloc = rig
+        resizer = AdaptiveResizer(osi, window_ops=50, shrink_patience=3,
+                                  min_rows=1 << 8)
+        drive(stu, alloc, resizer, hits=50, misses=0)
+        assert resizer.shrinks == 0
+
+    def test_shrink_respects_min(self, rig):
+        stu, osi, alloc = rig
+        resizer = AdaptiveResizer(osi, window_ops=50, shrink_patience=1,
+                                  min_rows=1 << 10)
+        for _ in range(3):
+            drive(stu, alloc, resizer, hits=50, misses=0)
+        assert osi.stlt.num_rows == 1 << 10
+
+    def test_noisy_window_resets_patience(self, rig):
+        stu, osi, alloc = rig
+        resizer = AdaptiveResizer(osi, window_ops=100, shrink_below=0.05,
+                                  grow_above=0.9, shrink_patience=2,
+                                  min_rows=1 << 8)
+        drive(stu, alloc, resizer, hits=100, misses=0)   # quiet
+        drive(stu, alloc, resizer, hits=80, misses=20)   # noisy
+        drive(stu, alloc, resizer, hits=100, misses=0)   # quiet again
+        assert resizer.shrinks == 0
+
+
+class TestResizeSemantics:
+    def test_resize_clears_rows(self, rig):
+        stu, osi, alloc = rig
+        resizer = AdaptiveResizer(osi, window_ops=10, grow_above=0.2)
+        va = alloc.alloc(64)
+        stu.insert_stlt(0xCAFE000, va)
+        drive(stu, alloc, resizer, hits=0, misses=10)
+        assert resizer.grows == 1
+        # the resized table starts cold (STLTresize clears content)
+        assert stu.load_va(0xCAFE000).missed

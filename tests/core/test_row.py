@@ -1,0 +1,63 @@
+"""STLT row layout tests (Fig. 5)."""
+
+import pytest
+
+from repro.core.row import (
+    COUNTER_MAX,
+    ROW_BYTES,
+    SUBINT_MASK,
+    STLTRow,
+    make_pte,
+    pte_pfn,
+    pte_present,
+)
+from repro.errors import STLTError
+
+
+class TestLayout:
+    def test_row_is_16_bytes(self):
+        row = STLTRow(counter=3, subint=0xABC, va=0x7FFF_0000, pte=make_pte(9))
+        assert len(row.pack()) == ROW_BYTES
+
+    def test_pack_unpack_roundtrip(self):
+        row = STLTRow(counter=7, subint=0x123, va=0x1234_5678_9AB0,
+                      pte=make_pte(0xDEAD))
+        again = STLTRow.unpack(row.pack())
+        assert again == row
+
+    def test_field_widths_enforced(self):
+        with pytest.raises(STLTError):
+            STLTRow(counter=COUNTER_MAX + 1).pack()
+        with pytest.raises(STLTError):
+            STLTRow(subint=SUBINT_MASK + 1).pack()
+        with pytest.raises(STLTError):
+            STLTRow(va=1 << 48).pack()
+
+    def test_unpack_rejects_wrong_size(self):
+        with pytest.raises(STLTError):
+            STLTRow.unpack(b"\x00" * 15)
+
+    def test_zero_va_means_invalid(self):
+        assert not STLTRow().valid
+        assert STLTRow(va=0x1000).valid
+
+    def test_clear(self):
+        row = STLTRow(counter=1, subint=2, va=3 << 12, pte=make_pte(4))
+        row.clear()
+        assert row == STLTRow()
+
+    def test_extreme_values_roundtrip(self):
+        row = STLTRow(counter=COUNTER_MAX, subint=SUBINT_MASK,
+                      va=(1 << 48) - 1, pte=(1 << 64) - 1)
+        assert STLTRow.unpack(row.pack()) == row
+
+
+class TestPTEHelpers:
+    def test_make_pte_sets_present(self):
+        assert pte_present(make_pte(5))
+
+    def test_null_pte_is_not_present(self):
+        assert not pte_present(0)
+
+    def test_pfn_roundtrip(self):
+        assert pte_pfn(make_pte(0x12345)) == 0x12345

@@ -1,0 +1,109 @@
+"""STB and IPB buffer tests (Section III-D1)."""
+
+import pytest
+
+from repro.core.ipb import IPB
+from repro.core.row import make_pte
+from repro.core.stb import STB
+from repro.errors import ConfigError
+
+
+class TestSTB:
+    def test_insert_probe(self):
+        stb = STB()
+        stb.insert(10, make_pte(99))
+        assert stb.probe(10) == 99
+
+    def test_probe_miss(self):
+        stb = STB()
+        assert stb.probe(10) is None
+
+    def test_fifo_replacement(self):
+        stb = STB(entries=4)
+        for vpn in range(5):
+            stb.insert(vpn, make_pte(vpn))
+        assert stb.probe(0) is None  # oldest evicted
+        assert stb.probe(4) == 4
+
+    def test_probe_does_not_affect_fifo_order(self):
+        stb = STB(entries=2)
+        stb.insert(1, make_pte(1))
+        stb.insert(2, make_pte(2))
+        stb.probe(1)  # FIFO, not LRU: this must not protect vpn 1
+        stb.insert(3, make_pte(3))
+        assert stb.probe(1) is None
+
+    def test_reinsert_updates_in_place(self):
+        stb = STB(entries=2)
+        stb.insert(1, make_pte(1))
+        stb.insert(2, make_pte(2))
+        stb.insert(1, make_pte(9))  # refresh, no new slot
+        assert stb.probe(1) == 9
+        assert len(stb) == 2
+
+    def test_null_pte_probes_as_miss(self):
+        stb = STB()
+        stb.insert(5, 0)
+        assert stb.probe(5) is None
+
+    def test_invalidate(self):
+        stb = STB()
+        stb.insert(7, make_pte(7))
+        assert stb.invalidate(7)
+        assert not stb.invalidate(7)
+        assert stb.probe(7) is None
+
+    def test_clear(self):
+        stb = STB()
+        stb.insert(1, make_pte(1))
+        stb.clear()
+        assert len(stb) == 0
+
+    def test_default_is_32_entries(self):
+        assert STB().entries == 32
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigError):
+            STB(entries=0)
+
+
+class TestIPB:
+    def test_insert_contains(self):
+        ipb = IPB()
+        ipb.insert(42)
+        assert ipb.contains(42)
+        assert not ipb.contains(43)
+
+    def test_is_full_and_clear(self):
+        ipb = IPB(entries=3)
+        for vpn in range(3):
+            ipb.insert(vpn)
+        assert ipb.is_full()
+        ipb.clear()
+        assert not ipb.is_full()
+        assert len(ipb) == 0
+
+    def test_duplicate_insert_takes_one_slot(self):
+        ipb = IPB(entries=4)
+        ipb.insert(1)
+        ipb.insert(1)
+        assert len(ipb) == 1
+
+    def test_fifo_when_hardware_overflows(self):
+        ipb = IPB(entries=2)
+        ipb.insert(1)
+        ipb.insert(2)
+        ipb.insert(3)  # safety-net FIFO replacement
+        assert not ipb.contains(1)
+        assert ipb.contains(3)
+
+    def test_default_is_32_entries(self):
+        assert IPB().entries == 32
+
+    def test_probe_stats(self):
+        ipb = IPB()
+        ipb.insert(5)
+        ipb.contains(5)
+        ipb.contains(6)
+        assert ipb.hits == 1
+        assert ipb.probes == 2

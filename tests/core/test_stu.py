@@ -1,0 +1,154 @@
+"""STU instruction tests: loadVA and insertSTLT (Section III-D)."""
+
+import pytest
+
+from repro.core.os_interface import OSInterface
+from repro.core.stu import STU
+from repro.errors import STLTError
+from repro.mem.allocator import BumpAllocator
+from repro.mem.hierarchy import MemorySystem
+from repro.params import DEFAULT_MACHINE
+
+
+@pytest.fixture
+def rig(space):
+    mem = MemorySystem(space, DEFAULT_MACHINE)
+    stu = STU(mem)
+    osi = OSInterface(space, mem, stu)
+    osi.stlt_alloc(1 << 10, ways=4)
+    alloc = BumpAllocator(space)
+    return space, mem, stu, osi, alloc
+
+
+class TestLoadVA:
+    def test_miss_returns_zero(self, rig):
+        _, _, stu, _, _ = rig
+        result = stu.load_va(0x1234)
+        assert result.missed
+        assert not result.hit
+
+    def test_hit_after_insert(self, rig):
+        _, _, stu, _, alloc = rig
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x1234, va)
+        result = stu.load_va(0x1234)
+        assert result.va == va
+        assert result.hit
+
+    def test_ordering_same_integer(self, rig):
+        # Section III-D: loadVA after insertSTLT with the same integer
+        # must observe the inserted row
+        _, _, stu, _, alloc = rig
+        for i in range(10):
+            va = alloc.alloc(64)
+            stu.insert_stlt(0xAA00 + (i << 12), va)
+            assert stu.load_va(0xAA00 + (i << 12)).va == va
+
+    def test_requires_stlt(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        stu = STU(mem)
+        with pytest.raises(STLTError):
+            stu.load_va(1)
+        with pytest.raises(STLTError):
+            stu.insert_stlt(1, 0x1000)
+
+    def test_fixed_cost_is_charged(self, rig):
+        _, mem, stu, _, _ = rig
+        before = mem.now
+        stu.load_va(0x9999)
+        assert mem.now - before >= DEFAULT_MACHINE.instr.load_va_cycles
+
+    def test_hit_fills_stb(self, rig):
+        _, _, stu, _, alloc = rig
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x4242, va)
+        stu.load_va(0x4242)
+        assert stu.stb.probe(va >> 12) is not None
+
+    def test_disabled_stu_misses_without_memory_traffic(self, rig):
+        _, mem, stu, _, alloc = rig
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x4242, va)
+        stu.enabled = False
+        accesses_before = mem.stats.accesses
+        result = stu.load_va(0x4242)
+        assert result.missed
+        assert mem.stats.accesses == accesses_before
+
+    def test_counter_updates_on_hit(self, rig):
+        _, _, stu, _, alloc = rig
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x4242, va)
+        stlt = stu.stlt
+        s, w = stlt.scan(0x4242)
+        for _ in range(30):
+            stu.load_va(0x4242)
+        assert stlt.read_row(s, w).counter >= 1
+
+
+class TestInsertSTLT:
+    def test_unmapped_va_is_ignored_hint(self, rig):
+        _, _, stu, _, _ = rig
+        unmapped = 0x7000_0000_0000
+        stu.insert_stlt(0x1111, unmapped)
+        assert stu.insert_ignored == 1
+        assert stu.load_va(0x1111).missed
+
+    def test_insert_stores_pte_of_page(self, rig):
+        space, _, stu, _, alloc = rig
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x2222, va)
+        stlt = stu.stlt
+        s, w = stlt.scan(0x2222)
+        row = stlt.read_row(s, w)
+        assert row.pte >> 12 == space.translate(va) >> 12
+
+    def test_insert_uses_insertion_buffer(self, rig):
+        _, _, stu, _, alloc = rig
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x3333, va)
+        assert stu.insertion_buffer.pushes == 1
+        assert stu.insertion_buffer.drains == 1
+        assert stu.insertion_buffer.occupancy == 0
+
+    def test_insert_cost_charged(self, rig):
+        _, mem, stu, _, alloc = rig
+        va = alloc.alloc(64)
+        before = mem.now
+        stu.insert_stlt(0x4444, va)
+        assert mem.now - before >= DEFAULT_MACHINE.instr.insert_stlt_cycles
+
+
+class TestVAOnlyMode:
+    """The STLT-VA ablation of Fig. 19 (left)."""
+
+    @pytest.fixture
+    def va_rig(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        stu = STU(mem, va_only=True)
+        osi = OSInterface(space, mem, stu)
+        osi.stlt_alloc(1 << 10, ways=4)
+        return mem, stu, BumpAllocator(space)
+
+    def test_rows_hold_null_pte(self, va_rig):
+        _, stu, alloc = va_rig
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x5555, va)
+        s, w = stu.stlt.scan(0x5555)
+        assert stu.stlt.read_row(s, w).pte == 0
+
+    def test_hit_still_returns_va(self, va_rig):
+        _, stu, alloc = va_rig
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x5555, va)
+        assert stu.load_va(0x5555).va == va
+
+    def test_no_stb_attached(self, va_rig):
+        mem, stu, alloc = va_rig
+        assert mem.stb is None
+
+    def test_no_sptw_walks(self, va_rig):
+        _, stu, alloc = va_rig
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x5555, va)
+        assert stu.sptw.walks == 0

@@ -1,0 +1,53 @@
+"""Property-based tests on the hash implementations (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashes.djb2 import djb2
+from repro.hashes.murmur import murmur64a
+from repro.hashes.siphash import siphash24
+from repro.hashes.xxhash import xxh3_64, xxh64
+
+ALL_HASHES = [siphash24, murmur64a, xxh64, xxh3_64, djb2]
+
+data = st.binary(min_size=0, max_size=300)
+
+
+@given(data)
+@settings(max_examples=150)
+def test_outputs_are_u64(payload):
+    for fn in ALL_HASHES:
+        assert 0 <= fn(payload) < (1 << 64)
+
+
+@given(data)
+def test_deterministic(payload):
+    for fn in ALL_HASHES:
+        assert fn(payload) == fn(payload)
+
+
+@given(data, data)
+def test_distinct_inputs_rarely_collide(a, b):
+    # not a strict guarantee, but for random inputs a collision in any
+    # of the five functions would be a 2^-64 event; treat it as failure
+    if a == b:
+        return
+    for fn in (siphash24, murmur64a, xxh64, xxh3_64):
+        assert fn(a) != fn(b)
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 2**32 - 1))
+def test_seed_sensitivity(payload, seed):
+    if seed == 0:
+        return
+    assert xxh64(payload, seed) != xxh64(payload, 0) or payload == b""
+    assert murmur64a(payload, seed) != murmur64a(payload, 0) or payload == b""
+
+
+@given(st.binary(min_size=8, max_size=8))
+def test_siphash_block_boundary(payload):
+    # exactly one full block plus the length block
+    h = siphash24(payload)
+    assert 0 <= h < (1 << 64)
+    # appending a byte must change the hash (length is folded in)
+    assert siphash24(payload + b"\x00") != h

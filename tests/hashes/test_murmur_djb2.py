@@ -1,0 +1,51 @@
+"""MurmurHash64A and djb2 behaviour tests."""
+
+from repro.hashes.djb2 import djb2
+from repro.hashes.murmur import murmur64a
+
+
+class TestMurmur:
+    def test_deterministic(self):
+        assert murmur64a(b"hello") == murmur64a(b"hello")
+
+    def test_output_range(self):
+        for n in range(32):
+            assert 0 <= murmur64a(b"z" * n) < (1 << 64)
+
+    def test_tail_lengths_distinct(self):
+        outputs = {murmur64a(b"k" * n) for n in range(1, 9)}
+        assert len(outputs) == 8
+
+    def test_seed_changes_output(self):
+        assert murmur64a(b"abc", seed=1) != murmur64a(b"abc", seed=0)
+
+    def test_single_bit_diffusion(self):
+        a = murmur64a(b"\x00" * 24)
+        b = murmur64a(b"\x80" + b"\x00" * 23)
+        assert bin(a ^ b).count("1") >= 16
+
+    def test_known_self_consistency(self):
+        # MurmurHash64A of 8 zero bytes with seed 0: fixed by construction
+        first = murmur64a(b"\x00" * 8)
+        assert first == murmur64a(bytes(8))
+
+
+class TestDjb2:
+    def test_empty_is_seed(self):
+        assert djb2(b"") == 5381
+
+    def test_classic_recurrence(self):
+        # h = h*33 + c
+        assert djb2(b"a") == 5381 * 33 + ord("a")
+        assert djb2(b"ab") == (5381 * 33 + ord("a")) * 33 + ord("b")
+
+    def test_wraps_at_64_bits(self):
+        h = djb2(b"x" * 1000)
+        assert 0 <= h < (1 << 64)
+
+    def test_weak_diffusion_on_structured_keys(self):
+        # djb2's low bits barely differ for sequential numeric suffixes —
+        # the property that raises its STLT conflict rate in Fig. 18
+        a = djb2(b"user" + b"0" * 19 + b"1")
+        b = djb2(b"user" + b"0" * 19 + b"2")
+        assert (a ^ b) < (1 << 8)  # only low bits differ

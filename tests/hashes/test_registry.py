@@ -1,0 +1,55 @@
+"""Registry and cost-model tests (Table IV)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hashes.registry import HASH_FUNCTIONS, get_hash, hash_cost_cycles
+
+
+class TestRegistry:
+    def test_all_table_iv_functions_registered(self):
+        # Table IV's five functions plus the Section III-B hardware
+        # hash-unit extension
+        assert set(HASH_FUNCTIONS) == {
+            "siphash", "murmur", "xxh64", "djb2", "xxh3", "hw_hash",
+        }
+
+    def test_get_hash_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            get_hash("md5")
+
+    def test_specs_are_callable(self):
+        for spec in HASH_FUNCTIONS.values():
+            assert 0 <= spec(b"some key") < (1 << 64)
+
+    def test_memoisation_returns_same_value(self):
+        spec = get_hash("xxh3")
+        assert spec(b"memo-key") == spec.func(b"memo-key")
+
+
+class TestCostModel:
+    def test_siphash_is_most_expensive_on_24_byte_keys(self):
+        costs = {name: hash_cost_cycles(name, 24) for name in HASH_FUNCTIONS}
+        assert costs["siphash"] == max(costs.values())
+
+    def test_xxh3_is_cheapest_software_hash_on_24_byte_keys(self):
+        costs = {name: hash_cost_cycles(name, 24)
+                 for name in HASH_FUNCTIONS if name != "hw_hash"}
+        assert costs["xxh3"] == min(costs.values())
+
+    def test_hw_hash_unit_beats_every_software_hash(self):
+        hw = hash_cost_cycles("hw_hash", 24)
+        for name in HASH_FUNCTIONS:
+            if name != "hw_hash":
+                assert hw < hash_cost_cycles(name, 24)
+
+    def test_cost_grows_with_length(self):
+        for name in HASH_FUNCTIONS:
+            if name == "hw_hash":  # fixed-latency functional unit
+                continue
+            assert hash_cost_cycles(name, 100) > hash_cost_cycles(name, 4)
+
+    def test_fig18_ordering(self):
+        # the Fig. 18 experiment relies on sipHash >> murmur > xxh64 > xxh3
+        c = {name: hash_cost_cycles(name, 24) for name in HASH_FUNCTIONS}
+        assert c["siphash"] > c["murmur"] >= c["xxh64"] > c["xxh3"]

@@ -1,0 +1,58 @@
+"""SipHash-2-4 against the reference vectors from the SipHash paper.
+
+The vectors use key ``000102...0f`` and messages ``b"" , b"\\x00",
+b"\\x00\\x01", ...`` — the first entries of the official ``vectors_64``
+table of the reference implementation.
+"""
+
+import pytest
+
+from repro.hashes.siphash import DEFAULT_KEY, siphash24
+
+REFERENCE_KEY = bytes(range(16))
+
+#: (message length, expected) — official SipHash-2-4 64-bit test vectors
+VECTORS = [
+    (0, 0x726FDB47DD0E0E31),
+    (1, 0x74F839C593DC67FD),
+]
+
+
+class TestReferenceVectors:
+    @pytest.mark.parametrize("length,expected", VECTORS)
+    def test_official_vector(self, length, expected):
+        message = bytes(range(length))
+        assert siphash24(message, REFERENCE_KEY) == expected
+
+    def test_default_key_is_reference_key(self):
+        assert DEFAULT_KEY == REFERENCE_KEY
+
+
+class TestBehaviour:
+    def test_output_is_64_bit(self):
+        for n in range(0, 40):
+            h = siphash24(bytes(range(n)), REFERENCE_KEY)
+            assert 0 <= h < (1 << 64)
+
+    def test_deterministic(self):
+        assert siphash24(b"hello") == siphash24(b"hello")
+
+    def test_key_changes_output(self):
+        other_key = bytes(range(1, 17))
+        assert siphash24(b"hello", REFERENCE_KEY) != \
+            siphash24(b"hello", other_key)
+
+    def test_requires_16_byte_key(self):
+        with pytest.raises(ValueError):
+            siphash24(b"x", b"short")
+
+    def test_all_tail_lengths(self):
+        # exercise every remainder length of the final block
+        outputs = {siphash24(b"a" * n) for n in range(17)}
+        assert len(outputs) == 17
+
+    def test_single_bit_flip_diffuses(self):
+        a = siphash24(b"\x00" * 24)
+        b = siphash24(b"\x01" + b"\x00" * 23)
+        # at least a quarter of the output bits should flip
+        assert bin(a ^ b).count("1") >= 16

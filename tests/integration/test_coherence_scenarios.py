@@ -1,0 +1,162 @@
+"""Integration scenarios for coherence, record movement and sharing.
+
+These drive the full STLT runtime (front-end + STU + OS interface)
+through the hazardous event sequences of Sections III-D1 and III-F and
+check that no stale physical address is ever used.
+"""
+
+import pytest
+
+from repro.core.multi_table import SharedSTLTNamespace
+from repro.core.os_interface import OSInterface
+from repro.core.stu import STU
+from repro.hashes.registry import get_hash
+from repro.kvs import make_index
+from repro.sim.frontend import STLTFrontend
+from repro.workloads.keys import key_bytes
+
+
+@pytest.fixture
+def rig(ctx):
+    index = make_index("unordered_map", ctx, expected_keys=256)
+    records = []
+    for i in range(128):
+        key = key_bytes(i)
+        rec = ctx.records.create(key, 32)
+        index.build_insert(key, rec)
+        records.append(rec)
+    stu = STU(ctx.mem)
+    osi = OSInterface(ctx.space, ctx.mem, stu)
+    osi.stlt_alloc(1 << 11)
+    frontend = STLTFrontend(ctx, index, stu, get_hash("xxh3"))
+    return ctx, index, records, stu, osi, frontend
+
+
+class TestPageMigration:
+    def test_migrated_page_never_serves_stale_pa(self, rig):
+        ctx, index, records, stu, osi, fe = rig
+        fe.get(key_bytes(3))           # populate the STLT row
+        assert fe.get(key_bytes(3))    # fast hit
+        ctx.space.migrate_page(records[3].va)
+        # the VA is unchanged but the PA moved; the IPB must filter the
+        # row so no stale PA reaches the STB
+        result = fe.get(key_bytes(3))
+        assert result is records[3]
+        pa = ctx.space.translate(records[3].va)
+        assert ctx.mem.tlbs.l2.lookup(records[3].va >> 12) == pa >> 12
+
+    def test_unmapped_then_freshly_mapped_page(self, rig):
+        ctx, index, records, stu, osi, fe = rig
+        fe.get(key_bytes(5))
+        vpn_page = records[5].va >> 12
+        ctx.space.migrate_page(records[5].va)
+        # even a loadVA that would hit is filtered; the slow path then
+        # re-inserts the row with the fresh PTE
+        fe.get(key_bytes(5))
+        row_hit = fe.get(key_bytes(5))
+        assert row_hit is records[5]
+        assert stu.load_va_ipb_filtered >= 1
+
+
+class TestRecordMovement:
+    def test_moved_record_resolved_via_protocol(self, rig):
+        ctx, index, records, stu, osi, fe = rig
+        key = key_bytes(7)
+        fe.get(key)
+        # the store grows the value: record reallocates to a new VA
+        index.remove(key)
+        old_va = ctx.records.move(records[7], new_value_size=128)
+        index.build_insert(key, records[7])
+        fe.on_record_moved(records[7], old_va)
+        result = fe.get(key)
+        assert result is records[7]
+        assert result.value_size == 128
+
+    def test_moved_record_without_protocol_still_correct(self, rig):
+        # forgetting insertSTLT after a move costs performance, never
+        # correctness: validation rejects the stale VA
+        ctx, index, records, stu, osi, fe = rig
+        key = key_bytes(9)
+        fe.get(key)
+        index.remove(key)
+        ctx.records.move(records[9])
+        index.build_insert(key, records[9])
+        assert fe.get(key) is records[9]
+
+    def test_freed_record_is_not_resurrected(self, rig):
+        ctx, index, records, stu, osi, fe = rig
+        key = key_bytes(11)
+        fe.get(key)
+        index.remove(key)
+        ctx.records.destroy(records[11])
+        assert fe.get(key) is None
+
+
+class TestSharedSTLT:
+    def test_two_indexes_share_one_table_without_aliasing(self, ctx):
+        ns = SharedSTLTNamespace(id_bits=1)
+        ids = [ns.register(), ns.register()]
+        stu = STU(ctx.mem)
+        osi = OSInterface(ctx.space, ctx.mem, stu)
+        osi.stlt_alloc(1 << 11)
+        fast = get_hash("xxh3")
+
+        frontends = []
+        all_records = []
+        for table_id in ids:
+            index = make_index("unordered_map", ctx, expected_keys=64)
+            records = {}
+            for i in range(32):
+                key = key_bytes(i)
+                rec = ctx.records.create(key, 16)
+                index.build_insert(key, rec)
+                records[i] = rec
+            transform = (lambda tid: lambda integer:
+                         ns.transform(integer, tid))(table_id)
+            frontends.append(STLTFrontend(ctx, index, stu, fast,
+                                          integer_transform=transform))
+            all_records.append(records)
+
+        # same keys point to different records in the two tables; the
+        # shared STLT must keep them apart
+        for i in range(32):
+            frontends[0].get(key_bytes(i))
+            frontends[1].get(key_bytes(i))
+        for i in range(32):
+            assert frontends[0].get(key_bytes(i)) is all_records[0][i]
+            assert frontends[1].get(key_bytes(i)) is all_records[1][i]
+
+    def test_without_ids_key_aliasing_corrupts_lookups(self, ctx):
+        # the counter-example motivating Fig. 10: without ID
+        # manipulation, two tables that use the same key for different
+        # records alias in the shared STLT — and because the fast-path
+        # validation only compares key bytes, a lookup can return the
+        # OTHER table's record.  This is precisely the hazard Section
+        # III-F's integer manipulation exists to remove.
+        stu = STU(ctx.mem)
+        osi = OSInterface(ctx.space, ctx.mem, stu)
+        osi.stlt_alloc(1 << 11)
+        fast = get_hash("xxh3")
+        index_a = make_index("unordered_map", ctx, expected_keys=64)
+        index_b = make_index("unordered_map", ctx, expected_keys=64)
+        rec_a = {}
+        rec_b = {}
+        for i in range(16):
+            key = key_bytes(i)
+            rec_a[i] = ctx.records.create(key, 16)
+            index_a.build_insert(key, rec_a[i])
+            rec_b[i] = ctx.records.create(key, 16)
+            index_b.build_insert(key, rec_b[i])
+        fe_a = STLTFrontend(ctx, index_a, stu, fast)
+        fe_b = STLTFrontend(ctx, index_b, stu, fast)
+        for i in range(16):
+            fe_a.get(key_bytes(i))
+        cross_hits = 0
+        for i in range(16):
+            got = fe_b.get(key_bytes(i))
+            if got is rec_a[i]:
+                cross_hits += 1
+        assert cross_hits > 0, (
+            "expected cross-table aliasing without table IDs; the Fig. 10 "
+            "manipulation would be unnecessary otherwise"
+        )

@@ -1,0 +1,97 @@
+"""Structure-specific tests for the two hash-table indexes."""
+
+import pytest
+
+from repro.errors import KVSError
+from repro.kvs.chained_hash import ChainedHashIndex
+from repro.kvs.open_hash import OpenHashIndex
+from repro.workloads.keys import key_bytes
+
+
+def fill(ctx, index, n):
+    records = []
+    for i in range(n):
+        key = key_bytes(i)
+        rec = ctx.records.create(key, 16)
+        index.build_insert(key, rec)
+        records.append(rec)
+    return records
+
+
+class TestChained:
+    def test_buckets_power_of_two(self, ctx):
+        index = ChainedHashIndex(ctx, expected_keys=300)
+        assert index.num_buckets == 512
+
+    def test_load_factor(self, ctx):
+        index = ChainedHashIndex(ctx, expected_keys=256)
+        fill(ctx, index, 128)
+        assert index.load_factor == pytest.approx(0.5)
+
+    def test_collisions_chain_and_resolve(self, ctx):
+        index = ChainedHashIndex(ctx, expected_keys=4)  # force collisions
+        records = fill(ctx, index, 64)
+        for i, rec in enumerate(records):
+            assert index.probe(key_bytes(i)) is rec
+        assert index.max_chain_length() > 1
+
+    def test_remove_middle_of_chain(self, ctx):
+        index = ChainedHashIndex(ctx, expected_keys=2)
+        records = fill(ctx, index, 16)
+        index.remove(key_bytes(7))
+        for i, rec in enumerate(records):
+            expected = None if i == 7 else rec
+            assert index.probe(key_bytes(i)) is expected
+
+    def test_redis_mode_reads_record_per_node(self, ctx):
+        # cache_node_hash=False forces a record access per visited node
+        index = ChainedHashIndex(ctx, expected_keys=2, cache_node_hash=False)
+        fill(ctx, index, 8)
+        before = ctx.mem.stats.accesses
+        index.lookup(key_bytes(0))
+        redis_accesses = ctx.mem.stats.accesses - before
+
+        cached = ChainedHashIndex(ctx, expected_keys=2, cache_node_hash=True)
+        fill(ctx, cached, 8)
+        before = ctx.mem.stats.accesses
+        cached.lookup(key_bytes(0))
+        cached_accesses = ctx.mem.stats.accesses - before
+        assert redis_accesses >= cached_accesses
+
+
+class TestOpenHash:
+    def test_load_capped_at_half(self, ctx):
+        index = OpenHashIndex(ctx, expected_keys=100)
+        fill(ctx, index, 100)
+        assert index.load_factor <= 0.5
+
+    def test_growth_preserves_content(self, ctx):
+        index = OpenHashIndex(ctx, expected_keys=4)
+        records = fill(ctx, index, 200)  # forces several doublings
+        for i, rec in enumerate(records):
+            assert index.probe(key_bytes(i)) is rec
+
+    def test_tombstones_probed_through(self, ctx):
+        index = OpenHashIndex(ctx, expected_keys=64)
+        records = fill(ctx, index, 32)
+        # delete half, then verify the rest still resolve through
+        # any tombstones on their probe paths
+        for i in range(0, 32, 2):
+            index.remove(key_bytes(i))
+        for i in range(1, 32, 2):
+            assert index.probe(key_bytes(i)) is records[i]
+
+    def test_duplicate_insert_rejected(self, ctx):
+        index = OpenHashIndex(ctx, expected_keys=16)
+        rec = ctx.records.create(key_bytes(0), 8)
+        index.build_insert(key_bytes(0), rec)
+        with pytest.raises(KVSError):
+            index.insert(key_bytes(0), rec)
+
+    def test_slot_reuse_after_delete(self, ctx):
+        index = OpenHashIndex(ctx, expected_keys=16)
+        fill(ctx, index, 8)
+        index.remove(key_bytes(3))
+        rec = ctx.records.create(key_bytes(100), 8)
+        index.insert(key_bytes(100), rec)
+        assert index.probe(key_bytes(100)) is rec

@@ -1,0 +1,120 @@
+"""Behaviour shared by all four Table II index structures.
+
+Parametrised over every index class: functional correctness (insert /
+lookup / remove round-trips), timed-vs-untimed equivalence, and the
+memory-traffic contract (lookups issue simulated accesses).
+"""
+
+import random
+
+import pytest
+
+from repro.kvs import INDEX_CLASSES, make_index
+from repro.workloads.keys import key_bytes
+
+ALL_INDEXES = sorted(INDEX_CLASSES)
+
+
+@pytest.fixture(params=ALL_INDEXES)
+def index(request, ctx):
+    return make_index(request.param, ctx, expected_keys=512)
+
+
+def fill(ctx, index, n, value_size=32):
+    records = []
+    for i in range(n):
+        key = key_bytes(i)
+        rec = ctx.records.create(key, value_size)
+        index.build_insert(key, rec)
+        records.append(rec)
+    return records
+
+
+class TestFunctional:
+    def test_lookup_finds_all_inserted(self, ctx, index):
+        records = fill(ctx, index, 300)
+        for i, rec in enumerate(records):
+            assert index.lookup(key_bytes(i)) is rec
+
+    def test_lookup_missing_returns_none(self, ctx, index):
+        fill(ctx, index, 50)
+        assert index.lookup(key_bytes(999)) is None
+
+    def test_probe_matches_lookup(self, ctx, index):
+        fill(ctx, index, 100)
+        for i in (0, 42, 99):
+            assert index.probe(key_bytes(i)) is index.lookup(key_bytes(i))
+
+    def test_len_tracks_size(self, ctx, index):
+        fill(ctx, index, 77)
+        assert len(index) == 77
+
+    def test_timed_insert_visible(self, ctx, index):
+        fill(ctx, index, 100)
+        rec = ctx.records.create(key_bytes(100), 32)
+        index.insert(key_bytes(100), rec)
+        assert index.lookup(key_bytes(100)) is rec
+        assert len(index) == 101
+
+    def test_remove_deletes_only_target(self, ctx, index):
+        records = fill(ctx, index, 100)
+        removed = index.remove(key_bytes(50))
+        assert removed is records[50]
+        assert index.lookup(key_bytes(50)) is None
+        assert index.lookup(key_bytes(49)) is records[49]
+        assert index.lookup(key_bytes(51)) is records[51]
+        assert len(index) == 99
+
+    def test_remove_missing_returns_none(self, ctx, index):
+        fill(ctx, index, 10)
+        assert index.remove(key_bytes(999)) is None
+
+    def test_interleaved_insert_remove(self, ctx, index):
+        rng = random.Random(7)
+        live = {}
+        fill(ctx, index, 0)
+        next_id = 0
+        for _ in range(400):
+            if live and rng.random() < 0.4:
+                victim = rng.choice(sorted(live))
+                index.remove(key_bytes(victim))
+                del live[victim]
+            else:
+                key = key_bytes(next_id)
+                rec = ctx.records.create(key, 16)
+                index.insert(key, rec)
+                live[next_id] = rec
+                next_id += 1
+        for key_id, rec in live.items():
+            assert index.lookup(key_bytes(key_id)) is rec
+        assert len(index) == len(live)
+
+    def test_empty_key_rejected(self, ctx, index):
+        rec = ctx.records.create(b"x", 8)
+        with pytest.raises(Exception):
+            index.insert(b"", rec)
+
+
+class TestTraffic:
+    def test_lookup_issues_memory_accesses(self, ctx, index):
+        fill(ctx, index, 200)
+        before = ctx.mem.stats.accesses
+        index.lookup(key_bytes(123))
+        assert ctx.mem.stats.accesses > before
+
+    def test_lookup_charges_hash_or_compare(self, ctx, index):
+        fill(ctx, index, 200)
+        before = ctx.mem.now
+        index.lookup(key_bytes(7))
+        assert ctx.mem.now > before
+
+    def test_build_insert_is_untimed(self, ctx, index):
+        before = ctx.mem.stats.accesses
+        fill(ctx, index, 50)
+        assert ctx.mem.stats.accesses == before
+
+    def test_probe_is_untimed(self, ctx, index):
+        fill(ctx, index, 50)
+        before = ctx.mem.stats.accesses
+        index.probe(key_bytes(10))
+        assert ctx.mem.stats.accesses == before

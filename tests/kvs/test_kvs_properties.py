@@ -1,0 +1,72 @@
+"""Property-based tests on the index structures (hypothesis).
+
+Each index is driven by an arbitrary interleaving of inserts and removes
+and must stay functionally equal to a Python dict, with structural
+invariants (RB colouring, B-tree occupancy) holding throughout.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvs import make_index
+from repro.kvs.base import SimContext
+from repro.workloads.keys import key_bytes
+
+#: operation stream: (insert? , key id within a small universe)
+ops_strategy = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 40)), max_size=120
+)
+
+
+def run_model(index_name, ops):
+    ctx = SimContext.create(slow_hash="murmur")
+    index = make_index(index_name, ctx, expected_keys=64)
+    model = {}
+    for is_insert, key_id in ops:
+        key = key_bytes(key_id)
+        if is_insert and key_id not in model:
+            rec = ctx.records.create(key, 8)
+            index.insert(key, rec)
+            model[key_id] = rec
+        elif not is_insert:
+            expected = model.pop(key_id, None)
+            assert index.remove(key) is expected
+    return index, model
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_strategy)
+def test_chained_hash_matches_dict(ops):
+    index, model = run_model("unordered_map", ops)
+    assert len(index) == len(model)
+    for key_id, rec in model.items():
+        assert index.probe(key_bytes(key_id)) is rec
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_strategy)
+def test_open_hash_matches_dict(ops):
+    index, model = run_model("dense_hash_map", ops)
+    assert len(index) == len(model)
+    for key_id, rec in model.items():
+        assert index.probe(key_bytes(key_id)) is rec
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_strategy)
+def test_rbtree_matches_dict_and_invariants(ops):
+    index, model = run_model("ordered_map", ops)
+    assert len(index) == len(model)
+    index.check_invariants()
+    for key_id, rec in model.items():
+        assert index.probe(key_bytes(key_id)) is rec
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_strategy)
+def test_btree_matches_dict_and_invariants(ops):
+    index, model = run_model("btree", ops)
+    assert len(index) == len(model)
+    index.check_invariants()
+    for key_id, rec in model.items():
+        assert index.probe(key_bytes(key_id)) is rec

@@ -1,0 +1,135 @@
+"""Structure-specific and invariant tests for the tree indexes."""
+
+import random
+
+from repro.kvs.btree import MAX_KEYS, MIN_KEYS, BTreeIndex
+from repro.kvs.rbtree import RBTreeIndex
+from repro.workloads.keys import key_bytes
+
+
+def fill(ctx, index, ids):
+    records = {}
+    for i in ids:
+        key = key_bytes(i)
+        rec = ctx.records.create(key, 16)
+        index.build_insert(key, rec)
+        records[i] = rec
+    return records
+
+
+class TestRBTree:
+    def test_invariants_after_sequential_build(self, ctx):
+        tree = RBTreeIndex(ctx)
+        fill(ctx, tree, range(500))
+        tree.check_invariants()
+
+    def test_invariants_after_random_build(self, ctx):
+        tree = RBTreeIndex(ctx)
+        ids = list(range(500))
+        random.Random(3).shuffle(ids)
+        fill(ctx, tree, ids)
+        tree.check_invariants()
+
+    def test_invariants_through_timed_mutations(self, ctx):
+        tree = RBTreeIndex(ctx)
+        rng = random.Random(11)
+        live = {}
+        next_id = 0
+        for step in range(600):
+            if live and rng.random() < 0.45:
+                victim = rng.choice(sorted(live))
+                assert tree.remove(key_bytes(victim)) is live.pop(victim)
+            else:
+                key = key_bytes(next_id)
+                rec = ctx.records.create(key, 8)
+                tree.insert(key, rec)
+                live[next_id] = rec
+                next_id += 1
+            if step % 100 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == len(live)
+
+    def test_depth_is_logarithmic(self, ctx):
+        tree = RBTreeIndex(ctx)
+        fill(ctx, tree, range(1024))
+        black_height = tree.check_invariants()
+        # a RB tree of n nodes has height <= 2*log2(n+1)
+        assert black_height <= 12
+
+    def test_traversal_cost_grows_with_size(self, ctx):
+        small = RBTreeIndex(ctx)
+        fill(ctx, small, range(16))
+        before = ctx.mem.stats.accesses
+        small.lookup(key_bytes(11))
+        small_cost = ctx.mem.stats.accesses - before
+
+        big = RBTreeIndex(ctx)
+        fill(ctx, big, range(4096))
+        before = ctx.mem.stats.accesses
+        big.lookup(key_bytes(4000))
+        big_cost = ctx.mem.stats.accesses - before
+        assert big_cost > small_cost
+
+
+class TestBTree:
+    def test_invariants_after_sequential_build(self, ctx):
+        tree = BTreeIndex(ctx)
+        fill(ctx, tree, range(500))
+        tree.check_invariants()
+
+    def test_invariants_after_random_build(self, ctx):
+        tree = BTreeIndex(ctx)
+        ids = list(range(500))
+        random.Random(5).shuffle(ids)
+        fill(ctx, tree, ids)
+        tree.check_invariants()
+
+    def test_node_capacity_constants(self):
+        # 16-byte header + 6 x (32-byte slot + 8-byte pointer) <= 256;
+        # a split leaves floor((6-1)/2) = 2 keys in the smaller half
+        assert MAX_KEYS == 6
+        assert MIN_KEYS == 2
+
+    def test_split_grows_height(self, ctx):
+        tree = BTreeIndex(ctx)
+        fill(ctx, tree, range(MAX_KEYS + 1))
+        assert tree.height == 2
+
+    def test_invariants_through_timed_mutations(self, ctx):
+        tree = BTreeIndex(ctx)
+        rng = random.Random(13)
+        live = {}
+        next_id = 0
+        for step in range(600):
+            if live and rng.random() < 0.45:
+                victim = rng.choice(sorted(live))
+                assert tree.remove(key_bytes(victim)) is live.pop(victim)
+            else:
+                key = key_bytes(next_id)
+                rec = ctx.records.create(key, 8)
+                tree.insert(key, rec)
+                live[next_id] = rec
+                next_id += 1
+            if step % 100 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == len(live)
+
+    def test_remove_internal_key(self, ctx):
+        tree = BTreeIndex(ctx)
+        records = fill(ctx, tree, range(100))
+        # the root keys are internal: removing one exercises the
+        # predecessor-replacement path
+        internal_key = tree.root.keys[0]
+        key_id = int(internal_key[4:])
+        assert tree.remove(internal_key) is records[key_id]
+        tree.check_invariants()
+
+    def test_drain_to_empty(self, ctx):
+        tree = BTreeIndex(ctx)
+        fill(ctx, tree, range(64))
+        for i in range(64):
+            assert tree.remove(key_bytes(i)) is not None
+        assert len(tree) == 0
+        assert tree.probe(key_bytes(1)) is None

@@ -1,0 +1,41 @@
+"""Unit tests for the DRAM channel model."""
+
+from repro.mem.dram import DRAM
+from repro.params import DRAMParams, ns_to_cycles
+
+
+class TestLatency:
+    def test_unloaded_latency_matches_table_iii(self):
+        dram = DRAM(DRAMParams())
+        # 45 ns at 2.66 GHz
+        assert dram.latency == ns_to_cycles(45.0)
+        assert dram.access(now=0) == dram.latency
+
+    def test_back_to_back_requests_queue(self):
+        dram = DRAM(DRAMParams(service_cycles=24))
+        first = dram.access(now=0)
+        second = dram.access(now=0)
+        assert first == dram.latency
+        assert second == dram.latency + 24
+        assert dram.queue_cycles == 24
+
+    def test_spaced_requests_do_not_queue(self):
+        dram = DRAM(DRAMParams(service_cycles=24))
+        dram.access(now=0)
+        assert dram.access(now=1000) == dram.latency
+        assert dram.queue_cycles == 0
+
+    def test_channel_reservation_advances(self):
+        dram = DRAM(DRAMParams(service_cycles=10))
+        dram.access(now=5)
+        assert dram.channel_free_at == 15
+        dram.access(now=7)  # queues behind the first
+        assert dram.channel_free_at == 25
+
+    def test_stats(self):
+        dram = DRAM(DRAMParams())
+        for _ in range(5):
+            dram.access(now=0)
+        assert dram.accesses == 5
+        dram.reset_stats()
+        assert dram.accesses == 0

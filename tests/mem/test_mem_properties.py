@@ -1,0 +1,98 @@
+"""Property-based tests on the memory substrate (hypothesis)."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.address_space import FrameAllocator
+from repro.mem.cache import Cache
+from repro.mem.page_table import PageTable
+from repro.core.stb import STB
+from repro.core.row import make_pte
+from repro.params import CacheParams
+
+lines = st.integers(0, 255)
+
+
+class ReferenceLRU:
+    """Textbook LRU set-associative cache to check the fast one against."""
+
+    def __init__(self, sets, ways):
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.mask = sets - 1
+        self.ways = ways
+
+    def access(self, line):
+        s = self.sets[line & self.mask]
+        hit = line in s
+        if hit:
+            s.move_to_end(line)
+        else:
+            if len(s) >= self.ways:
+                s.popitem(last=False)
+            s[line] = None
+        return hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(lines, max_size=400))
+def test_cache_matches_reference_lru(accesses):
+    cache = Cache(CacheParams("p", 8 * 2 * 64, 2, 1))  # 8 sets, 2 ways
+    reference = ReferenceLRU(8, 2)
+    for line in accesses:
+        hit = cache.lookup(line)
+        if not hit:
+            cache.insert(line)
+        assert hit == reference.access(line)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 1 << 20), st.integers(1, 1 << 20)),
+                max_size=150))
+def test_page_table_matches_dict(mappings):
+    frames = FrameAllocator()
+    table = PageTable(frames.alloc)
+    model = {}
+    for vpn, pfn in mappings:
+        table.map(vpn, pfn)
+        model[vpn] = pfn
+    for vpn, pfn in model.items():
+        assert table.lookup(vpn) == pfn
+        walked, paddrs = table.walk_path(vpn)
+        assert walked == pfn
+        assert len(paddrs) == 4
+    assert table.mapped_pages == len(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 1 << 20), st.integers(1, 1 << 20)),
+                min_size=1, max_size=100))
+def test_page_table_unmap_removes_exactly_one(mappings):
+    frames = FrameAllocator()
+    table = PageTable(frames.alloc)
+    model = {}
+    for vpn, pfn in mappings:
+        table.map(vpn, pfn)
+        model[vpn] = pfn
+    victim = mappings[0][0]
+    table.unmap(victim)
+    del model[victim]
+    assert table.lookup(victim) is None
+    for vpn, pfn in model.items():
+        assert table.lookup(vpn) == pfn
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 63), max_size=200))
+def test_stb_fifo_capacity_invariant(vpns):
+    stb = STB(entries=8)
+    inserted_order = []
+    for vpn in vpns:
+        if vpn not in stb:
+            inserted_order.append(vpn)
+        stb.insert(vpn, make_pte(vpn + 1))
+        assert len(stb) <= 8
+    # the newest insert is always resident
+    if vpns:
+        assert stb.probe(vpns[-1]) == vpns[-1] + 1

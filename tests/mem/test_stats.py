@@ -1,0 +1,50 @@
+"""Unit tests for the statistics bundle."""
+
+from repro.mem.stats import MemoryStats
+
+
+class TestSnapshotDelta:
+    def test_delta_isolates_window(self):
+        stats = MemoryStats()
+        stats.accesses = 10
+        snap = stats.snapshot()
+        stats.accesses = 25
+        assert stats.delta(snap).accesses == 15
+
+    def test_snapshot_is_independent(self):
+        stats = MemoryStats()
+        snap = stats.snapshot()
+        stats.l1_misses = 5
+        assert snap.l1_misses == 0
+
+    def test_merge(self):
+        a = MemoryStats(accesses=3, l1_hits=2)
+        b = MemoryStats(accesses=4, l1_hits=1)
+        a.merge(b)
+        assert a.accesses == 7
+        assert a.l1_hits == 3
+
+
+class TestDerivedRatios:
+    def test_tlb_miss_rate(self):
+        stats = MemoryStats(accesses=100, stlb_misses=25)
+        assert stats.tlb_miss_rate == 0.25
+
+    def test_rates_zero_when_empty(self):
+        stats = MemoryStats()
+        assert stats.tlb_miss_rate == 0.0
+        assert stats.l1_miss_rate == 0.0
+        assert stats.llc_miss_rate == 0.0
+        assert stats.prefetch_accuracy == 0.0
+
+    def test_l1_miss_rate(self):
+        stats = MemoryStats(l1_hits=75, l1_misses=25)
+        assert stats.l1_miss_rate == 0.25
+
+    def test_prefetch_accuracy(self):
+        stats = MemoryStats(prefetches_issued=10, prefetches_useful=3)
+        assert stats.prefetch_accuracy == 0.3
+
+    def test_cache_misses_alias(self):
+        stats = MemoryStats(l1_misses=7)
+        assert stats.cache_misses == 7

@@ -1,0 +1,52 @@
+"""Cycle-attribution breakdown tests (Fig. 1 machinery)."""
+
+import pytest
+
+from repro.sim.breakdown import ADDRESSING_CATEGORIES, run_breakdown
+from repro.sim.config import RunConfig
+
+SMALL = dict(num_keys=4000, measure_ops=800, warmup_ops=1600)
+
+
+class TestBreakdown:
+    @pytest.fixture(scope="class")
+    def redis_breakdown(self):
+        return run_breakdown(RunConfig(program="redis",
+                                       frontend="baseline", **SMALL))
+
+    def test_shares_sum_to_one(self, redis_breakdown):
+        assert sum(redis_breakdown.shares.values()) == \
+            pytest.approx(1.0, abs=1e-9)
+
+    def test_all_shares_positive(self, redis_breakdown):
+        assert all(v > 0 for v in redis_breakdown.shares.values())
+
+    def test_expected_categories_present(self, redis_breakdown):
+        for category in ("command", "hash", "index", "record", "value",
+                         "translation"):
+            assert category in redis_breakdown.shares, category
+
+    def test_rows_sorted_descending(self, redis_breakdown):
+        shares = [s for _, s in redis_breakdown.rows()]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_addressing_grouping_is_stable(self):
+        assert "value" not in ADDRESSING_CATEGORIES
+        assert "command" not in ADDRESSING_CATEGORIES
+        assert "hash" in ADDRESSING_CATEGORIES
+        assert "translation" in ADDRESSING_CATEGORIES
+
+    def test_stlt_shifts_cycles_out_of_addressing(self):
+        base = run_breakdown(RunConfig(program="redis",
+                                       frontend="baseline", **SMALL))
+        fast = run_breakdown(RunConfig(program="redis", frontend="stlt",
+                                       **SMALL))
+        # the absolute addressing cycles must shrink under STLT
+        base_addr = base.result.cycles * base.addressing_share
+        fast_addr = fast.result.cycles * fast.addressing_share
+        assert fast_addr < base_addr
+
+    def test_kernel_benchmarks_have_no_command_share(self):
+        breakdown = run_breakdown(RunConfig(program="unordered_map",
+                                            frontend="baseline", **SMALL))
+        assert "command" not in breakdown.shares

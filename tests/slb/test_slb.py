@@ -1,0 +1,121 @@
+"""SLB comparator tests (Section IV-A)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hashes.registry import get_hash
+from repro.mem.hierarchy import MemorySystem
+from repro.params import DEFAULT_MACHINE
+from repro.slb.slb import CACHE_WAYS, SLBCache
+
+
+@pytest.fixture
+def slb(space):
+    mem = MemorySystem(space, DEFAULT_MACHINE)
+    return SLBCache(space, mem, num_entries=7 * 64, fast_hash=get_hash("xxh3"))
+
+
+class TestGeometry:
+    def test_space_overhead_is_2_5x_of_stlt(self, slb):
+        # 16 bytes/entry + 4 log entries x 6 bytes = 40 = 2.5 x 16
+        assert slb.size_bytes == slb.num_entries * 40
+
+    def test_seven_way_sets(self, slb):
+        assert slb.num_sets == slb.num_entries // CACHE_WAYS
+
+    def test_log_table_is_4x(self, slb):
+        assert slb.log_entries == 4 * slb.num_entries
+
+    def test_too_small_rejected(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        with pytest.raises(ConfigError):
+            SLBCache(space, mem, num_entries=3, fast_hash=get_hash("xxh3"))
+
+
+class TestProbeAdmission:
+    def test_miss_then_admit_then_hit(self, slb):
+        h = get_hash("xxh3")(b"some-key")
+        assert slb.probe(h) is None
+        slb.record_miss(h, 0xABC000)
+        assert slb.probe(h) == 0xABC000
+
+    @staticmethod
+    def _same_set_hashes(slb, count):
+        """Distinct-signature hashes that all map to set 0."""
+        return [(i << 48) | (i * slb.num_sets << 12)
+                for i in range(1, count + 1)]
+
+    def test_admission_requires_competitive_frequency(self, slb):
+        # fill one set with hot entries, then a cold challenger must be
+        # rejected until its log frequency catches up
+        hashes = self._same_set_hashes(slb, CACHE_WAYS + 1)
+        residents, challenger = hashes[:-1], hashes[-1]
+        for r in residents:
+            slb.record_miss(r, 0x1000 + r)
+        # heat the residents
+        for _ in range(5):
+            for r in residents:
+                assert slb.probe(r) is not None
+        slb.record_miss(challenger, 0x9999000)
+        assert slb.probe(challenger) is None
+        assert slb.rejections >= 1
+
+    def test_challenger_admitted_after_enough_misses(self, slb):
+        hashes = self._same_set_hashes(slb, CACHE_WAYS + 1)
+        residents, challenger = hashes[:-1], hashes[-1]
+        for r in residents:
+            slb.record_miss(r, 0x1000 + r)
+        for r in residents:
+            slb.probe(r)  # freq 1 each
+        for _ in range(3):
+            slb.record_miss(challenger, 0x9999000)
+        assert slb.probe(challenger) == 0x9999000
+
+    def test_prefill_installs_until_contested(self, slb):
+        h = get_hash("xxh3")(b"prefill-key")
+        assert slb.prefill(h, 0x1234000)
+        assert slb.probe(h) == 0x1234000
+
+    def test_invalidate_va(self, slb):
+        h = get_hash("xxh3")(b"victim")
+        slb.prefill(h, 0x4444000)
+        assert slb.invalidate_va(0x4444000) == 1
+        assert slb.probe(h) is None
+
+
+class TestTiming:
+    def test_probe_issues_user_space_accesses(self, slb):
+        before = slb.mem.stats.accesses
+        slb.probe(12345)
+        assert slb.mem.stats.accesses > before
+
+    def test_probe_traffic_goes_through_tlb(self, slb):
+        before = slb.mem.stats.dtlb_misses + slb.mem.stats.dtlb_hits
+        slb.probe(12345)
+        assert slb.mem.stats.dtlb_misses + slb.mem.stats.dtlb_hits > before
+
+    def test_hash_key_charges_cycles(self, slb):
+        before = slb.mem.now
+        slb.hash_key(b"k" * 24)
+        assert slb.mem.now - before == get_hash("xxh3").cost_cycles(24)
+
+
+class TestAging:
+    def test_frequencies_decay(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        slb = SLBCache(space, mem, num_entries=7 * 8,
+                       fast_hash=get_hash("xxh3"))
+        h = 42
+        slb.record_miss(h, 0x1000)
+        for _ in range(20):
+            slb.probe(h)
+        freq_before = max(slb._freqs)
+        slb._age()
+        assert max(slb._freqs) == freq_before >> 1
+
+    def test_miss_and_hit_rates(self, slb):
+        h = 77
+        slb.record_miss(h, 0x2000)
+        slb.probe(h)
+        assert 0.0 <= slb.miss_rate <= 1.0
+        assert slb.hit_rate + slb.miss_rate == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""SLB aging and drift-tracking behaviour."""
+
+import pytest
+
+from repro.hashes.registry import get_hash
+from repro.mem.hierarchy import MemorySystem
+from repro.params import DEFAULT_MACHINE
+from repro.slb.slb import SLBCache
+
+
+@pytest.fixture
+def slb(space):
+    mem = MemorySystem(space, DEFAULT_MACHINE)
+    cache = SLBCache(space, mem, num_entries=7 * 16,
+                     fast_hash=get_hash("xxh3"))
+    cache.AGING_PERIOD = 64  # fast aging for the tests
+    return cache
+
+
+def same_set_hashes(slb, count):
+    return [(i << 48) | (i * slb.num_sets << 12)
+            for i in range(1, count + 1)]
+
+
+class TestDrift:
+    def test_stale_hot_entries_lose_protection(self, slb):
+        """After the hotspot moves, aging lets new keys displace old ones.
+
+        This is the SLB behaviour the latest distribution depends on:
+        without aging, early-hot residents keep an unbeatable frequency
+        forever and the table cannot track workload drift.
+        """
+        hashes = same_set_hashes(slb, 8)
+        residents, challenger = hashes[:-1], hashes[-1]
+        for h in residents:
+            slb.record_miss(h, 0x1000 + h)
+        # the old hotspot: residents accumulate frequency
+        for _ in range(10):
+            for h in residents:
+                slb.probe(h)
+        # the workload drifts: only the challenger is accessed now; its
+        # misses log frequency while aging decays the residents
+        admitted = False
+        for _ in range(40):
+            if slb.probe(challenger) is not None:
+                admitted = True
+                break
+            slb.record_miss(challenger, 0x9999000)
+            # burn lookups to trigger aging periods
+            for _ in range(16):
+                slb.probe(0xDEAD << 48)
+        assert admitted, "aging must eventually admit the new hot key"
+
+    def test_aging_is_periodic(self, slb):
+        h = same_set_hashes(slb, 1)[0]
+        slb.record_miss(h, 0x1000)
+        for _ in range(10):
+            slb.probe(h)
+        freq_before = max(slb._freqs)
+        # cross one aging boundary
+        for _ in range(slb.AGING_PERIOD):
+            slb.probe(0xDEAD << 48)
+        assert max(slb._freqs) <= freq_before

@@ -1,0 +1,62 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.program == "unordered_map"
+        assert args.frontend == "stlt"
+
+    def test_invalid_program_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--program", "rocksdb"])
+
+    def test_prefetcher_choices(self):
+        args = build_parser().parse_args(
+            ["run", "--prefetchers", "vldp", "stream"])
+        assert args.prefetchers == ["vldp", "stream"]
+
+
+class TestCommands:
+    def test_hwcost(self, capsys):
+        assert main(["hwcost"]) == 0
+        out = capsys.readouterr().out
+        assert "837" in out
+        assert "STB" in out
+
+    def test_run_small(self, capsys):
+        rc = main(["run", "--keys", "2000", "--ops", "400",
+                   "--warmup-ops", "800"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycles/op" in out
+        assert "table miss" in out
+
+    def test_run_with_baseline_comparison(self, capsys):
+        rc = main(["run", "--keys", "2000", "--ops", "400",
+                   "--warmup-ops", "800", "--compare-baseline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_breakdown(self, capsys):
+        rc = main(["breakdown", "--program", "redis", "--keys", "2000",
+                   "--ops", "400", "--warmup-ops", "800"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "addressing share" in out
+
+    def test_run_baseline_frontend_has_no_table(self, capsys):
+        rc = main(["run", "--frontend", "baseline", "--keys", "2000",
+                   "--ops", "400", "--warmup-ops", "800"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table miss" not in out

@@ -1,0 +1,153 @@
+"""Workload generation tests: keys, distributions, operation streams."""
+
+import collections
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.distributions import (
+    LatestChooser,
+    UniformChooser,
+    ZipfianChooser,
+    fnv64,
+    make_chooser,
+)
+from repro.workloads.keys import KEY_BYTES, key_bytes
+from repro.workloads.ycsb import Operation, WorkloadSpec, generate_operations
+
+
+class TestKeys:
+    def test_keys_are_24_bytes(self):
+        for key_id in (0, 1, 999_999, 10**19):
+            assert len(key_bytes(key_id)) == KEY_BYTES
+
+    def test_keys_are_unique(self):
+        keys = {key_bytes(i) for i in range(10_000)}
+        assert len(keys) == 10_000
+
+    def test_prefix(self):
+        assert key_bytes(7).startswith(b"user")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            key_bytes(-1)
+        with pytest.raises(ConfigError):
+            key_bytes(10**20)
+
+
+class TestZipfian:
+    def test_range(self):
+        chooser = ZipfianChooser(1000, seed=1)
+        for _ in range(5000):
+            assert 0 <= chooser.choose() < 1000
+
+    def test_skew(self):
+        chooser = ZipfianChooser(10_000, seed=2)
+        counts = collections.Counter(chooser.choose() for _ in range(50_000))
+        top_share = sum(c for _, c in counts.most_common(100)) / 50_000
+        # with alpha=0.99, the hottest 1% of keys get a large share
+        assert top_share > 0.3
+
+    def test_scrambling_spreads_hot_keys(self):
+        chooser = ZipfianChooser(10_000, seed=3)
+        hot = [k for k, _ in collections.Counter(
+            chooser.choose() for _ in range(20_000)).most_common(10)]
+        # scrambled zipfian: hot keys are NOT the low ids
+        assert max(hot) > 100
+
+    def test_deterministic_under_seed(self):
+        a = ZipfianChooser(1000, seed=9)
+        b = ZipfianChooser(1000, seed=9)
+        assert [a.choose() for _ in range(100)] == \
+            [b.choose() for _ in range(100)]
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigError):
+            ZipfianChooser(100, alpha=1.5)
+
+    def test_fnv64_is_stable(self):
+        assert fnv64(0) == fnv64(0)
+        assert fnv64(1) != fnv64(2)
+
+
+class TestLatest:
+    def test_prefers_new_keys(self):
+        chooser = LatestChooser(10_000, seed=4)
+        draws = [chooser.choose() for _ in range(20_000)]
+        newest_share = sum(d >= 9_000 for d in draws) / len(draws)
+        assert newest_share > 0.5
+
+    def test_insert_shifts_hotspot(self):
+        chooser = LatestChooser(100, seed=5)
+        for new_id in range(100, 200):
+            chooser.observe_insert(new_id)
+        draws = [chooser.choose() for _ in range(5000)]
+        assert max(draws) >= 190
+        assert all(0 <= d < 200 for d in draws)
+
+    def test_dense_insert_order_enforced(self):
+        chooser = LatestChooser(10)
+        with pytest.raises(ConfigError):
+            chooser.observe_insert(15)
+
+
+class TestUniform:
+    def test_roughly_even(self):
+        chooser = UniformChooser(100, seed=6)
+        counts = collections.Counter(chooser.choose() for _ in range(50_000))
+        assert min(counts.values()) > 300
+        assert max(counts.values()) < 800
+
+    def test_make_chooser(self):
+        assert isinstance(make_chooser("uniform", 10), UniformChooser)
+        assert isinstance(make_chooser("zipf", 10), ZipfianChooser)
+        assert isinstance(make_chooser("latest", 10), LatestChooser)
+        with pytest.raises(ConfigError):
+            make_chooser("pareto", 10)
+
+
+class TestWorkloadSpec:
+    def test_latest_defaults_to_5_percent_sets(self):
+        assert WorkloadSpec(distribution="latest").set_fraction == 0.05
+
+    def test_other_distributions_are_get_only(self):
+        assert WorkloadSpec(distribution="zipf").set_fraction == 0.0
+        assert WorkloadSpec(distribution="uniform").set_fraction == 0.0
+
+    def test_invalid_value_size(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(value_size=0)
+
+    def test_label(self):
+        assert WorkloadSpec("zipf", 128).label == "zipf-128B"
+
+
+class TestOperationStream:
+    def test_get_only_stream(self):
+        spec = WorkloadSpec("zipf", 64)
+        ops = list(generate_operations(spec, 100, 500, seed=1))
+        assert len(ops) == 500
+        assert all(op is Operation.GET for op, _ in ops)
+        assert all(0 <= key_id < 100 for _, key_id in ops)
+
+    def test_latest_stream_inserts_fresh_dense_ids(self):
+        spec = WorkloadSpec("latest", 64)
+        ops = list(generate_operations(spec, 100, 2000, seed=2))
+        sets = [key_id for op, key_id in ops if op is Operation.SET]
+        assert sets == list(range(100, 100 + len(sets)))
+        share = len(sets) / len(ops)
+        assert 0.03 < share < 0.07
+
+    def test_gets_can_reach_inserted_keys(self):
+        spec = WorkloadSpec("latest", 64)
+        ops = list(generate_operations(spec, 50, 4000, seed=3))
+        max_set = max((k for op, k in ops if op is Operation.SET), default=0)
+        max_get = max(k for op, k in ops if op is Operation.GET)
+        assert max_get > 50  # GETs reach beyond the initial keyspace
+        assert max_get <= max_set
+
+    def test_deterministic(self):
+        spec = WorkloadSpec("latest", 64)
+        a = list(generate_operations(spec, 100, 300, seed=9))
+        b = list(generate_operations(spec, 100, 300, seed=9))
+        assert a == b
