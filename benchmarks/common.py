@@ -1,16 +1,24 @@
 """Shared infrastructure for the benchmark harness.
 
 Every module in this directory regenerates one table or figure of the
-paper.  Runs are expensive (each is a full trace-driven simulation), so:
+paper.  Runs are expensive (each is a full trace-driven simulation), so
+they are submitted through :mod:`repro.exp`:
 
-* results are memoised in-process *and* in ``.bench_cache.json`` keyed by
-  the full run configuration — figures that share runs (the Fig. 14/15/16
-  size sweep, Fig. 11 vs Table V) reuse them;
-* the scale is controlled by environment variables:
+* results live in a durable ``.bench_results.jsonl`` store keyed by a
+  content hash over *all* ``RunConfig`` fields (machine model included
+  — the old hand-rolled key tuple silently omitted it, so a machine
+  change could hit stale entries);
+* figures that share runs (the Fig. 14/15/16 size sweep, Fig. 11 vs
+  Table V) reuse them through that one store;
+* multi-run figures fan out over worker processes via
+  :func:`run_many` (parallel results are bit-identical to serial).
+
+Scale and execution knobs (environment variables):
 
   - ``REPRO_BENCH_KEYS``  (default 50000)  — keys per store
   - ``REPRO_BENCH_OPS``   (default 6000)   — measured operations
-  - ``REPRO_BENCH_FRESH`` (set to 1)       — ignore the disk cache
+  - ``REPRO_BENCH_JOBS``  (default min(4, cpus)) — sweep workers
+  - ``REPRO_BENCH_FRESH`` (set to 1)       — re-simulate everything
 
 Each benchmark prints a paper-vs-measured table; the *shape* (who wins,
 rough factors, orderings) is the reproduction target, per EXPERIMENTS.md.
@@ -18,82 +26,70 @@ rough factors, orderings) is the reproduction target, per EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import List, Optional, Sequence
 
+from repro.exp import (
+    ResultStore,
+    SweepRunner,
+    metrics_from_record,
+    points_from_configs,
+)
 from repro.sim.config import RunConfig
-from repro.sim.engine import run_experiment
 from repro.sim.results import format_table
 
 BENCH_KEYS = int(os.environ.get("REPRO_BENCH_KEYS", "50000"))
 BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "6000"))
+BENCH_JOBS = int(os.environ.get(
+    "REPRO_BENCH_JOBS", str(min(4, os.cpu_count() or 1))))
 
-_CACHE_PATH = Path(__file__).resolve().parent.parent / ".bench_cache.json"
-_memory_cache: Dict[str, dict] = {}
-
-
-def _config_key(config: RunConfig) -> str:
-    fields = (
-        config.program, config.frontend, config.distribution,
-        config.value_size, config.num_keys, config.measure_ops,
-        config.effective_warmup_ops, config.effective_stlt_rows,
-        config.stlt_ways, config.fast_hash, config.effective_slb_entries,
-        tuple(config.prefetchers), config.prefill, config.seed,
-    )
-    return repr(fields)
+_STORE_PATH = Path(__file__).resolve().parent.parent / ".bench_results.jsonl"
+_store: Optional[ResultStore] = None
 
 
-def _load_disk_cache() -> Dict[str, dict]:
-    if os.environ.get("REPRO_BENCH_FRESH"):
-        return {}
-    if _CACHE_PATH.exists():
-        try:
-            return json.loads(_CACHE_PATH.read_text())
-        except (OSError, ValueError):
-            return {}
-    return {}
+def _fresh() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_FRESH"))
 
 
-def _store_disk_cache(cache: Dict[str, dict]) -> None:
-    try:
-        _CACHE_PATH.write_text(json.dumps(cache))
-    except OSError:
-        pass
+def bench_store() -> ResultStore:
+    """The shared durable result store for all benchmark figures.
+
+    Under ``REPRO_BENCH_FRESH`` the store is wiped once per process, so
+    everything re-simulates but figures that share runs (the size
+    sweep) still reuse the fresh results within the session.
+    """
+    global _store
+    if _store is None:
+        _store = ResultStore(_STORE_PATH)
+        if _fresh():
+            _store.clear()
+    return _store
+
+
+def _runner(jobs: int) -> SweepRunner:
+    return SweepRunner(store=bench_store(), jobs=jobs, retries=1)
+
+
+def run_many(configs: Sequence[RunConfig]) -> List[dict]:
+    """Run (or fetch) a batch of configs in parallel; metrics dicts.
+
+    Results come back in ``configs`` order regardless of completion
+    order, duplicate configs are simulated once, and a failing run
+    raises (a benchmark must never chart a partial sweep).
+    """
+    jobs = max(1, min(BENCH_JOBS, len(configs)))
+    report = _runner(jobs).run(points_from_configs(list(configs)))
+    if not report.ok:
+        details = "; ".join(
+            f"{o.label}: {o.error}" for o in report.failed)
+        raise RuntimeError(f"benchmark sweep failed: {details}")
+    return [metrics_from_record(o.record) for o in report]
 
 
 def run_cached(config: RunConfig) -> dict:
-    """Run a config (or fetch it from cache); returns a metrics dict."""
-    key = _config_key(config)
-    if key in _memory_cache:
-        return _memory_cache[key]
-    disk = _load_disk_cache()
-    if key in disk:
-        _memory_cache[key] = disk[key]
-        return disk[key]
-    result = run_experiment(config)
-    metrics = {
-        "cycles_per_op": result.cycles_per_op,
-        "cycles": result.cycles,
-        "ops": result.ops,
-        "tlb_misses": result.tlb_misses,
-        "cache_misses": result.cache_misses,
-        "page_walks": result.page_walks,
-        "dram_accesses": result.mem.dram_accesses,
-        "llc_miss_rate": result.mem.llc_miss_rate,
-        "fast_miss_rate": result.fast_miss_rate,
-        "fast_table_bytes": result.fast_table_bytes,
-        "stb_hits": result.mem.stb_hits,
-        "attr": result.attr,
-        "prefetches_issued": result.mem.prefetches_issued,
-        "prefetch_accuracy": result.mem.prefetch_accuracy,
-    }
-    _memory_cache[key] = metrics
-    disk = _load_disk_cache()
-    disk[key] = metrics
-    _store_disk_cache(disk)
-    return metrics
+    """Run a config (or fetch it from the store); returns a metrics dict."""
+    return run_many([config])[0]
 
 
 def bench_config(**overrides) -> RunConfig:

@@ -4,27 +4,32 @@ The paper sweeps the STLT from 16 MB to 512 MB over a 10 M-key store,
 i.e. from ~0.1 to ~3.2 rows per key.  We sweep the same rows-per-key
 ratios; the printed tables label each point with both the simulated table
 size and the paper-equivalent size (ratio x 10 M keys x 16 B).
+
+The campaign itself (program x ratio x {baseline, slb, stlt}) is defined
+once in :func:`repro.exp.spec.size_sweep_points` and submitted through
+the :mod:`repro.exp` runner: all runs fan out over ``REPRO_BENCH_JOBS``
+worker processes, land in the shared durable store, and come back in
+deterministic order — the three figures share one simulated sweep.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from benchmarks.common import BENCH_KEYS, bench_config, run_cached
+from repro.exp.spec import SIZE_SWEEP_RATIOS, size_sweep_points
+from repro.exp.spec import rows_for_ratio as _rows_for_ratio
+
+from benchmarks.common import BENCH_KEYS, BENCH_OPS, run_many
 
 #: rows-per-key ratios spanning the paper's 16 MB..512 MB range
-ROW_RATIOS = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0)
+ROW_RATIOS = SIZE_SWEEP_RATIOS
 
 PROGRAMS = ("redis", "unordered_map", "dense_hash_map", "ordered_map",
             "btree")
 
 
 def rows_for_ratio(ratio: float, num_keys: int = BENCH_KEYS) -> int:
-    target = int(num_keys * ratio)
-    rows = 1
-    while rows < target:
-        rows <<= 1
-    return max(rows, 1024)
+    return _rows_for_ratio(ratio, num_keys)
 
 
 def paper_equivalent_mb(ratio: float) -> int:
@@ -33,18 +38,26 @@ def paper_equivalent_mb(ratio: float) -> int:
 
 
 def sweep(programs=PROGRAMS) -> Dict[Tuple[str, float, str], dict]:
-    """Run {program} x {ratio} x {baseline, slb, stlt}; cached."""
+    """Run {program} x {ratio} x {baseline, slb, stlt} via ``repro.exp``.
+
+    One shared baseline per program is simulated once and fanned back
+    out to every ratio, exactly as the serial harness did; the mapping
+    from sweep points to ``(program, ratio, frontend)`` keys relies on
+    each point's ``params``.
+    """
+    points = size_sweep_points(BENCH_KEYS, BENCH_OPS, programs=programs,
+                               ratios=ROW_RATIOS)
+    metrics = run_many([p.config for p in points])
+
     out: Dict[Tuple[str, float, str], dict] = {}
-    for program in programs:
-        baseline = run_cached(bench_config(program=program,
-                                           frontend="baseline"))
-        for ratio in ROW_RATIOS:
-            rows = rows_for_ratio(ratio)
-            out[(program, ratio, "baseline")] = baseline
-            for frontend in ("slb", "stlt"):
-                config = bench_config(program=program, frontend=frontend,
-                                      stlt_rows=rows)
-                out[(program, ratio, frontend)] = run_cached(config)
+    for point, metric in zip(points, metrics):
+        program = point.params["program"]
+        frontend = point.params["frontend"]
+        if frontend == "baseline":
+            for ratio in ROW_RATIOS:
+                out[(program, ratio, "baseline")] = metric
+        else:
+            out[(program, point.params["ratio"], frontend)] = metric
     return out
 
 

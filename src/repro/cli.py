@@ -1,31 +1,59 @@
 """Command-line interface: ``python -m repro ...``.
 
-Three subcommands:
+Four subcommands:
 
 ``run``       simulate one configuration and print its metrics
               (optionally against a baseline run for speedups);
 ``breakdown`` print the Fig. 1-style cycle breakdown of a configuration;
-``hwcost``    print the Table I on-chip cost accounting.
+``hwcost``    print the Table I on-chip cost accounting;
+``sweep``     run a whole campaign (named sweep or JSON spec file) in
+              parallel through :mod:`repro.exp`, with a durable result
+              store, per-run retry/timeout, and progress/ETA output.
+
+``run`` and ``breakdown`` accept ``--json`` and then emit the same
+machine-readable record the sweep store writes (config + result keyed
+by the config content hash), so single runs and campaigns feed the same
+tooling.
 
 Examples::
 
     python -m repro run --program redis --frontend stlt --keys 30000
     python -m repro run --program btree --frontend stlt --compare-baseline
+    python -m repro run --json --keys 5000 --ops 1000
     python -m repro breakdown --program redis
+    python -m repro sweep smoke --jobs 2
+    python -m repro sweep size --jobs 8 --store results.jsonl
+    python -m repro sweep --spec campaign.json --fresh --json
     python -m repro hwcost
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
 from .core.hwcost import hardware_cost
+from .exp import (
+    ProgressReporter,
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    builtin_sweeps,
+    get_sweep,
+    make_record,
+    speedup_table,
+    summary_table,
+)
 from .sim.breakdown import run_breakdown
 from .sim.config import DISTRIBUTIONS, FRONTENDS, PROGRAMS, RunConfig
 from .sim.engine import run_experiment
 from .sim.results import RunResult, speedup
+
+#: default on-disk result store for ``repro sweep``
+DEFAULT_STORE = ".repro_results.jsonl"
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -83,7 +111,17 @@ def _print_result(result: RunResult) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(_config_from_args(args))
+    config = _config_from_args(args)
+    result = run_experiment(config)
+    if args.json:
+        record = make_record(config, result)
+        if args.compare_baseline and args.frontend != "baseline":
+            base_config = _config_from_args(args, "baseline")
+            baseline = run_experiment(base_config)
+            record["baseline"] = make_record(base_config, baseline)
+            record["speedup"] = speedup(baseline, result)
+        print(json.dumps(record, sort_keys=True))
+        return 0
     _print_result(result)
     if args.compare_baseline and args.frontend != "baseline":
         baseline = run_experiment(_config_from_args(args, "baseline"))
@@ -93,12 +131,66 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_breakdown(args: argparse.Namespace) -> int:
-    breakdown = run_breakdown(_config_from_args(args))
+    config = _config_from_args(args)
+    breakdown = run_breakdown(config)
+    if args.json:
+        record = make_record(config, breakdown.result)
+        record["shares"] = dict(breakdown.shares)
+        record["addressing_share"] = breakdown.addressing_share
+        print(json.dumps(record, sort_keys=True))
+        return 0
     print(f"configuration    : {breakdown.result.label}")
     for category, share in breakdown.rows():
         print(f"  {category:<12} {share:6.1%}")
     print(f"addressing share : {breakdown.addressing_share:.1%}")
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if bool(args.name) == bool(args.spec):
+        print("sweep: give exactly one of a sweep name or --spec FILE "
+              f"(named sweeps: {', '.join(builtin_sweeps())})",
+              file=sys.stderr)
+        return 2
+    if args.name:
+        points = get_sweep(args.name)
+    else:
+        points = SweepSpec.from_file(args.spec).expand()
+
+    store = ResultStore(args.store)
+    progress = None if args.quiet else ProgressReporter(jobs=args.jobs)
+    runner = SweepRunner(
+        store=store,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        fresh=args.fresh,
+        progress=progress,
+    )
+    report = runner.run(points)
+
+    if args.json:
+        for outcome in report:
+            if outcome.record is not None:
+                line = dict(outcome.record)
+                line["status"] = outcome.status
+            else:
+                line = {"key": outcome.key, "label": outcome.label,
+                        "config": outcome.config.to_dict(),
+                        "status": outcome.status, "error": outcome.error}
+            print(json.dumps(line, sort_keys=True))
+    else:
+        print(summary_table(report))
+        records = [o.record for o in report if o.record is not None]
+        table = speedup_table(records)
+        if "no baseline" not in table:
+            print()
+            print(table)
+        print()
+        print(report.summary())
+        for outcome in report.failed:
+            print(f"  failed: {outcome.label}: {outcome.error}")
+    return 0 if report.ok else 1
 
 
 def cmd_hwcost(_args: argparse.Namespace) -> int:
@@ -121,12 +213,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(run_parser)
     run_parser.add_argument("--compare-baseline", action="store_true",
                             help="also run the baseline and print speedup")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the store-record JSON instead of text")
     run_parser.set_defaults(func=cmd_run)
 
     breakdown_parser = sub.add_parser(
         "breakdown", help="Fig. 1-style cycle attribution")
     _add_config_arguments(breakdown_parser)
+    breakdown_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the store-record JSON (plus shares) instead of text")
     breakdown_parser.set_defaults(func=cmd_breakdown)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a campaign of simulations in parallel")
+    sweep_parser.add_argument(
+        "name", nargs="?", default=None,
+        help=f"named sweep to run ({', '.join(builtin_sweeps())})")
+    sweep_parser.add_argument("--spec", default=None, metavar="FILE",
+                              help="JSON sweep-spec file to run instead")
+    sweep_parser.add_argument("--jobs", type=int,
+                              default=max(1, os.cpu_count() or 1),
+                              help="worker processes (1 = in-process)")
+    sweep_parser.add_argument("--store", default=DEFAULT_STORE,
+                              help="JSONL result store path")
+    sweep_parser.add_argument("--fresh", action="store_true",
+                              help="re-simulate even if stored")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-run timeout in seconds")
+    sweep_parser.add_argument("--retries", type=int, default=1,
+                              help="retries per failing run")
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="emit one record per line on stdout")
+    sweep_parser.add_argument("--quiet", action="store_true",
+                              help="suppress progress output")
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     hwcost_parser = sub.add_parser(
         "hwcost", help="Table I hardware cost accounting")

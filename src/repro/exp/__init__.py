@@ -1,0 +1,72 @@
+"""repro.exp — parallel experiment orchestration.
+
+Every figure and table of the paper is a *sweep* of full trace-driven
+simulations.  This package is the campaign runner for those sweeps:
+
+* :mod:`repro.exp.spec`      — declarative sweep specs (grids, zips,
+  named campaigns) that expand into labelled ``RunConfig`` lists;
+* :mod:`repro.exp.store`     — a durable JSONL result store keyed by a
+  content hash over *all* config fields;
+* :mod:`repro.exp.runner`    — a fault-tolerant ``ProcessPoolExecutor``
+  runner with per-run timeouts, bounded retry, crash isolation, and
+  deterministic (serial-identical) output;
+* :mod:`repro.exp.progress`  — tick-based status lines, ETA, summary;
+* :mod:`repro.exp.reporting` — stored records -> paper-vs-measured
+  ``format_table`` output and the benchmark metrics-dict shape.
+
+Typical use::
+
+    from repro.exp import ResultStore, SweepRunner, SweepSpec
+
+    spec = SweepSpec(name="demo",
+                     base=dict(num_keys=20_000, measure_ops=4_000),
+                     grid={"program": ["redis", "btree"],
+                           "frontend": ["baseline", "stlt"]})
+    store = ResultStore("results.jsonl")
+    report = SweepRunner(store=store, jobs=4).run(spec.expand())
+    print(report.summary())
+"""
+
+from .progress import NullProgress, ProgressReporter
+from .reporting import metrics_from_record, speedup_table, summary_table
+from .runner import (
+    STATUS_CACHED,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    RunOutcome,
+    RunTimeout,
+    SweepReport,
+    SweepRunner,
+)
+from .spec import (
+    SweepPoint,
+    SweepSpec,
+    builtin_sweeps,
+    get_sweep,
+    points_from_configs,
+    size_sweep_points,
+)
+from .store import ResultStore, make_record
+
+__all__ = [
+    "NullProgress",
+    "ProgressReporter",
+    "ResultStore",
+    "RunOutcome",
+    "RunTimeout",
+    "STATUS_CACHED",
+    "STATUS_COMPLETED",
+    "STATUS_FAILED",
+    "SweepPoint",
+    "SweepReport",
+    "SweepRunner",
+    "SweepSpec",
+    "builtin_sweeps",
+    "get_sweep",
+    "make_record",
+    "metrics_from_record",
+    "points_from_configs",
+    "size_sweep_points",
+    "speedup_table",
+    "summary_table",
+]

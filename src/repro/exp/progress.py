@@ -1,0 +1,111 @@
+"""Tick-based progress and ETA reporting for sweeps.
+
+:class:`ProgressReporter` implements the event hooks the
+:class:`~repro.exp.runner.SweepRunner` emits (``on_begin``, ``on_run``,
+``on_retry``, ``on_end``) and prints one status line per run plus a
+final summary.  The ETA is a moving average of completed-run wall times
+multiplied by the remaining count and divided by the worker count — a
+deliberately simple model that is accurate for homogeneous sweeps and
+conservative for mixed ones.
+
+Output goes to ``stream`` (default ``sys.stderr``) so machine-readable
+``--json`` output on stdout stays clean.  ``NullProgress`` swallows
+everything (used by tests and library callers).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional, TextIO
+
+__all__ = ["ProgressReporter", "NullProgress"]
+
+
+class NullProgress:
+    """A progress sink that reports nothing."""
+
+    def on_begin(self, **info) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_run(self, **info) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_retry(self, **info) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_end(self, **info) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class ProgressReporter:
+    """Per-run status lines, a moving ETA, and a final summary."""
+
+    def __init__(self, stream: Optional[TextIO] = None, jobs: int = 1,
+                 clock=time.monotonic) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.jobs = max(1, jobs)
+        self._clock = clock
+        self._total = 0
+        self._done = 0
+        self._completed = 0
+        self._cached = 0
+        self._failed = 0
+        self._retries = 0
+        self._wall_times: List[float] = []
+        self._started_at = 0.0
+
+    # -- event hooks ------------------------------------------------------
+
+    def on_begin(self, total: int, unique: int, cached: int,
+                 to_run: int) -> None:
+        self._total = unique
+        self._started_at = self._clock()
+        self._line(
+            f"sweep: {total} points -> {unique} unique runs "
+            f"({cached} cached, {to_run} to run)")
+
+    def on_run(self, label: str, status: str, wall_time: float = 0.0,
+               error: Optional[str] = None) -> None:
+        self._done += 1
+        if status == "completed":
+            self._completed += 1
+            self._wall_times.append(wall_time)
+            detail = f"{wall_time:6.2f}s"
+        elif status == "cached":
+            self._cached += 1
+            detail = "cached"
+        else:
+            self._failed += 1
+            detail = f"FAILED ({error})"
+        eta = self._eta()
+        suffix = f"  eta {eta}" if eta else ""
+        self._line(
+            f"[{self._done:>{len(str(self._total))}}/{self._total}] "
+            f"{status:<9} {label}  {detail}{suffix}")
+
+    def on_retry(self, label: str, error: Optional[str],
+                 attempt: int) -> None:
+        self._retries += 1
+        self._line(f"      retry #{attempt} {label}: {error}")
+
+    def on_end(self, summary: str, report=None) -> None:
+        elapsed = self._clock() - self._started_at
+        extra = f", {self._retries} retries" if self._retries else ""
+        self._line(f"sweep done in {elapsed:.1f}s — {summary}{extra}")
+
+    # -- internals --------------------------------------------------------
+
+    def _eta(self) -> str:
+        remaining = self._total - self._done
+        if remaining <= 0 or not self._wall_times:
+            return ""
+        window = self._wall_times[-8:]
+        per_run = sum(window) / len(window)
+        seconds = per_run * remaining / self.jobs
+        if seconds < 60:
+            return f"{seconds:.0f}s"
+        return f"{seconds / 60:.1f}m"
+
+    def _line(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)

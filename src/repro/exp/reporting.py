@@ -1,0 +1,126 @@
+"""Turn stored sweep records into the paper-vs-measured tables.
+
+The benchmark harness historically worked on flat *metrics dicts*
+(``cycles_per_op``, ``tlb_misses``, ...).  :func:`metrics_from_record`
+derives exactly that shape from a durable store record by re-hydrating
+the full :class:`~repro.sim.results.RunResult` and reading its
+properties — so a ported benchmark sees byte-for-byte the numbers it
+used to compute in-process.
+
+:func:`summary_table` and :func:`speedup_table` render
+:func:`~repro.sim.results.format_table` ASCII tables for the ``repro
+sweep`` CLI: one row per run, and speedups of every front-end against
+the matching baseline run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..sim.results import RunResult, format_table
+
+__all__ = ["metrics_from_record", "summary_table", "speedup_table"]
+
+
+def metrics_from_record(record: dict) -> dict:
+    """The flat metrics dict the benchmark harness consumes.
+
+    Keys match the legacy ``benchmarks.common.run_cached`` payload
+    exactly, so figures produce identical tables whether a run was
+    simulated now, pulled from the store, or computed by a worker.
+    """
+    result = RunResult.from_dict(record["result"])
+    return {
+        "cycles_per_op": result.cycles_per_op,
+        "cycles": result.cycles,
+        "ops": result.ops,
+        "tlb_misses": result.tlb_misses,
+        "cache_misses": result.cache_misses,
+        "page_walks": result.page_walks,
+        "dram_accesses": result.mem.dram_accesses,
+        "llc_miss_rate": result.mem.llc_miss_rate,
+        "fast_miss_rate": result.fast_miss_rate,
+        "fast_table_bytes": result.fast_table_bytes,
+        "stb_hits": result.mem.stb_hits,
+        "attr": result.attr,
+        "prefetches_issued": result.mem.prefetches_issued,
+        "prefetch_accuracy": result.mem.prefetch_accuracy,
+    }
+
+
+def summary_table(report) -> str:
+    """One row per sweep outcome: status, cycles/op, misses, wall time."""
+    rows: List[List[str]] = []
+    for outcome in report:
+        if outcome.record is not None:
+            metrics = metrics_from_record(outcome.record)
+            cpo = f"{metrics['cycles_per_op']:.1f}"
+            tlb = str(metrics["tlb_misses"])
+            miss = ("-" if metrics["fast_miss_rate"] is None
+                    else f"{metrics['fast_miss_rate']:.2%}")
+        else:
+            cpo = tlb = miss = "-"
+        rows.append([
+            outcome.label,
+            outcome.status,
+            cpo,
+            tlb,
+            miss,
+            f"{outcome.wall_time:.2f}s" if outcome.wall_time else "-",
+        ])
+    return format_table(
+        ["run", "status", "cycles/op", "TLB misses", "table miss", "wall"],
+        rows)
+
+
+def _group_key(config: dict) -> Tuple:
+    """Workload identity shared by comparable runs (front-end excluded)."""
+    return (
+        config.get("program"),
+        config.get("distribution"),
+        config.get("value_size"),
+        config.get("num_keys"),
+        config.get("measure_ops"),
+        config.get("warmup_ops"),
+        config.get("seed"),
+    )
+
+
+def speedup_table(records: Iterable[dict]) -> str:
+    """Paper-style speedups: every run vs the matching baseline run.
+
+    Records are grouped by workload identity (program, distribution,
+    sizes, seed); within each group the ``baseline`` front-end anchors
+    the ratio, and each accelerated run becomes one row.  Groups without
+    a baseline are skipped (nothing to normalise against).
+    """
+    groups: Dict[Tuple, Dict[str, List[dict]]] = {}
+    for record in records:
+        config = record.get("config", {})
+        group = groups.setdefault(_group_key(config), {})
+        group.setdefault(config.get("frontend", "?"), []).append(record)
+
+    rows: List[List[str]] = []
+    for key in sorted(groups, key=repr):
+        group = groups[key]
+        baselines = group.get("baseline")
+        if not baselines:
+            continue
+        base = metrics_from_record(baselines[0])
+        program = key[0]
+        for frontend in sorted(group):
+            if frontend == "baseline":
+                continue
+            for record in group[frontend]:
+                metrics = metrics_from_record(record)
+                ratio = (base["cycles_per_op"] / metrics["cycles_per_op"]
+                         if metrics["cycles_per_op"] else float("inf"))
+                rows.append([
+                    str(program),
+                    record.get("label", ""),
+                    f"{metrics['cycles_per_op']:.1f}",
+                    f"{ratio:.2f}x",
+                ])
+    if not rows:
+        return "(no baseline-comparable records)"
+    return format_table(["program", "run", "cycles/op", "speedup"], rows)

@@ -1,0 +1,289 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes a *campaign* of runs: a base
+:class:`~repro.sim.config.RunConfig` plus axes that vary.  Two kinds of
+axes are supported, mirroring the two shapes every figure in the paper
+uses:
+
+* ``grid``  — a Cartesian product (Fig. 14's program x frontend x size);
+* ``zipped`` — axes that advance together (paired parameter lists).
+
+``expand()`` turns the spec into an ordered list of :class:`SweepPoint`
+(label + ``RunConfig`` + the varying parameters), which is what the
+:class:`~repro.exp.runner.SweepRunner` consumes.  Expansion order is
+deterministic: grid axes iterate in declaration order with the last axis
+fastest, like nested for-loops, so serial and parallel sweeps see the
+same point sequence.
+
+Specs round-trip through plain dicts (``to_dict``/``from_dict``) so they
+can live in JSON files: ``repro sweep --spec campaign.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..sim.config import RunConfig
+
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "builtin_sweeps",
+    "get_sweep",
+    "points_from_configs",
+    "rows_for_ratio",
+    "size_sweep_points",
+    "SIZE_SWEEP_RATIOS",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One run of a sweep: a label, its config, and the varying params."""
+
+    label: str
+    config: RunConfig
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return self.config.content_hash
+
+
+@dataclass
+class SweepSpec:
+    """A parameter sweep over :class:`RunConfig` fields.
+
+    ``base`` holds RunConfig keyword arguments shared by every point;
+    ``grid`` maps field names to value lists expanded as a Cartesian
+    product; ``zipped`` maps field names to equal-length value lists that
+    advance in lockstep.  A field may appear in at most one of the two.
+    """
+
+    name: str
+    base: Dict[str, object] = field(default_factory=dict)
+    grid: Dict[str, Sequence[object]] = field(default_factory=dict)
+    zipped: Dict[str, Sequence[object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        overlap = set(self.grid) & set(self.zipped)
+        if overlap:
+            raise ConfigError(
+                f"sweep {self.name!r}: fields in both grid and zipped: "
+                f"{sorted(overlap)!r}")
+        lengths = {len(v) for v in self.zipped.values()}
+        if len(lengths) > 1:
+            raise ConfigError(
+                f"sweep {self.name!r}: zipped axes must have equal "
+                f"lengths, got {sorted(lengths)!r}")
+        for axis, values in {**self.grid, **self.zipped}.items():
+            if not values:
+                raise ConfigError(
+                    f"sweep {self.name!r}: axis {axis!r} is empty")
+
+    # -- expansion --------------------------------------------------------
+
+    def _zip_rows(self) -> List[Dict[str, object]]:
+        if not self.zipped:
+            return [{}]
+        names = list(self.zipped)
+        return [dict(zip(names, row))
+                for row in zip(*(self.zipped[n] for n in names))]
+
+    def expand(self) -> List[SweepPoint]:
+        """All points, in deterministic declaration order."""
+        grid_names = list(self.grid)
+        grid_rows = [
+            dict(zip(grid_names, combo))
+            for combo in itertools.product(
+                *(self.grid[n] for n in grid_names))
+        ] if grid_names else [{}]
+
+        points: List[SweepPoint] = []
+        for grid_row in grid_rows:
+            for zip_row in self._zip_rows():
+                params = {**grid_row, **zip_row}
+                try:
+                    config = RunConfig(**{**self.base, **params})
+                except TypeError as exc:
+                    raise ConfigError(
+                        f"sweep {self.name!r}: bad RunConfig field: {exc}"
+                    ) from exc
+                points.append(SweepPoint(
+                    label=self._label_for(params),
+                    config=config,
+                    params=params,
+                ))
+        return points
+
+    def _label_for(self, params: Mapping[str, object]) -> str:
+        if not params:
+            return self.name
+        parts = ",".join(f"{k}={v}" for k, v in params.items())
+        return f"{self.name}[{parts}]"
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "base": dict(self.base),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "zipped": {k: list(v) for k, v in self.zipped.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        known = {"name", "base", "grid", "zipped"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown sweep-spec key(s): {sorted(unknown)!r}")
+        if "name" not in data:
+            raise ConfigError("sweep spec needs a 'name'")
+        return cls(
+            name=str(data["name"]),
+            base=dict(data.get("base", {})),
+            grid={k: list(v) for k, v in dict(data.get("grid", {})).items()},
+            zipped={k: list(v)
+                    for k, v in dict(data.get("zipped", {})).items()},
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "SweepSpec":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ConfigError(f"cannot read sweep spec {path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigError(f"sweep spec {path} must be a JSON object")
+        return cls.from_dict(data)
+
+
+def points_from_configs(
+    configs: Sequence[RunConfig],
+    labels: Optional[Sequence[str]] = None,
+) -> List[SweepPoint]:
+    """Wrap explicit configs as sweep points (for hand-built campaigns).
+
+    Duplicate configurations are allowed; the runner deduplicates by
+    content hash so shared runs (e.g. one baseline reused across a size
+    sweep) execute once.
+    """
+    if labels is not None and len(labels) != len(configs):
+        raise ConfigError("labels and configs must have the same length")
+    return [
+        SweepPoint(
+            label=labels[i] if labels is not None else config.label,
+            config=config,
+        )
+        for i, config in enumerate(configs)
+    ]
+
+
+# ----------------------------------------------------------------------
+# the paper's size sweep (Figs. 14/15/16), shared with the benchmarks
+# ----------------------------------------------------------------------
+
+#: rows-per-key ratios spanning the paper's 16 MB..512 MB STLT range
+SIZE_SWEEP_RATIOS: Tuple[float, ...] = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def rows_for_ratio(ratio: float, num_keys: int) -> int:
+    """STLT rows for a rows-per-key ratio, rounded up to a power of two."""
+    target = int(num_keys * ratio)
+    rows = 1
+    while rows < target:
+        rows <<= 1
+    return max(rows, 1024)
+
+
+def size_sweep_points(
+    num_keys: int,
+    measure_ops: int,
+    programs: Sequence[str] = ("redis", "unordered_map", "dense_hash_map",
+                               "ordered_map", "btree"),
+    ratios: Sequence[float] = SIZE_SWEEP_RATIOS,
+    **base,
+) -> List[SweepPoint]:
+    """The Fig. 14/15/16 campaign: {program} x {ratio} x {slb, stlt}
+    plus one shared baseline per program.
+
+    The baseline is emitted once per program (it has no fast-path table,
+    so its result is size-independent); consumers re-associate it with
+    every ratio via ``params``.
+    """
+    points: List[SweepPoint] = []
+    for program in programs:
+        base_config = RunConfig(program=program, frontend="baseline",
+                                num_keys=num_keys,
+                                measure_ops=measure_ops, **base)
+        points.append(SweepPoint(
+            label=f"size[{program},baseline]",
+            config=base_config,
+            params={"program": program, "frontend": "baseline"},
+        ))
+        for ratio in ratios:
+            rows = rows_for_ratio(ratio, num_keys)
+            for frontend in ("slb", "stlt"):
+                config = RunConfig(program=program, frontend=frontend,
+                                   num_keys=num_keys,
+                                   measure_ops=measure_ops,
+                                   stlt_rows=rows, **base)
+                points.append(SweepPoint(
+                    label=f"size[{program},{frontend},ratio={ratio}]",
+                    config=config,
+                    params={"program": program, "frontend": frontend,
+                            "ratio": ratio, "stlt_rows": rows},
+                ))
+    return points
+
+
+# ----------------------------------------------------------------------
+# named sweeps for the CLI / CI
+# ----------------------------------------------------------------------
+
+def _smoke_points() -> List[SweepPoint]:
+    spec = SweepSpec(
+        name="smoke",
+        base=dict(num_keys=200, measure_ops=60, warmup_ops=120),
+        grid={
+            "program": ["unordered_map", "btree"],
+            "frontend": ["baseline", "slb", "stlt"],
+        },
+    )
+    return spec.expand()
+
+
+def _size_points() -> List[SweepPoint]:
+    import os
+    num_keys = int(os.environ.get("REPRO_BENCH_KEYS", "50000"))
+    measure_ops = int(os.environ.get("REPRO_BENCH_OPS", "6000"))
+    return size_sweep_points(num_keys, measure_ops)
+
+
+#: named campaigns runnable as ``repro sweep <name>``
+_BUILTIN: Dict[str, Callable[[], List[SweepPoint]]] = {
+    "smoke": _smoke_points,
+    "size": _size_points,
+}
+
+
+def builtin_sweeps() -> List[str]:
+    return sorted(_BUILTIN)
+
+
+def get_sweep(name: str) -> List[SweepPoint]:
+    """Expand a named sweep; raises ``ConfigError`` for unknown names."""
+    try:
+        factory = _BUILTIN[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown sweep {name!r}; available: {builtin_sweeps()!r}"
+        ) from None
+    return factory()

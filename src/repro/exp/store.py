@@ -1,0 +1,226 @@
+"""Durable experiment-result store.
+
+One :class:`ResultStore` wraps one JSONL file.  Each line is one run
+record::
+
+    {"key":    "<sha256 of the canonical RunConfig JSON>",
+     "label":  "...",
+     "config": {...full RunConfig dict, machine included...},
+     "result": {...full RunResult dict...},
+     "meta":   {"wall_time": 1.23, "worker_pid": 4711,
+                "attempt": 1, "written_at": "2026-08-06T..."}}
+
+Design points:
+
+* **Keys are content hashes over *all* config fields** (see
+  :func:`repro.sim.config.config_hash`).  The old benchmark cache keyed
+  on a hand-maintained field tuple that silently omitted
+  ``RunConfig.machine``; with a content hash there is no field list to
+  forget, so changing the machine model (or adding a field) can never
+  hit a stale entry.
+* **Append-only JSONL** — a crashed sweep loses at most the line being
+  written; everything before it is durable.  Corrupt trailing lines are
+  skipped on load.  Duplicate keys resolve last-writer-wins.
+* **Full config stored alongside the key** so records are
+  self-describing: external tooling can re-expand, filter, or re-run
+  them without the spec that produced them.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from ..sim.config import RunConfig, config_hash
+from ..sim.results import RunResult
+
+__all__ = ["ResultStore", "make_record"]
+
+_SCHEMA_KEYS = ("key", "label", "config", "result", "meta")
+
+
+def make_record(config: RunConfig, result: RunResult,
+                meta: Optional[dict] = None,
+                label: Optional[str] = None) -> dict:
+    """Build the canonical store record for one completed run."""
+    record = {
+        "key": config_hash(config),
+        "label": label if label is not None else config.label,
+        "config": config.to_dict(),
+        "result": result.to_dict(),
+        "meta": dict(meta or {}),
+    }
+    record["meta"].setdefault(
+        "written_at",
+        _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds"),
+    )
+    # normalise through JSON (tuples -> lists) so the in-memory record
+    # is byte-identical to what a reload of the store file returns
+    return json.loads(json.dumps(record))
+
+
+class ResultStore:
+    """Durable, queryable map from config content hash to run record."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._records: Dict[str, dict] = {}
+        self._loaded_lines = 0
+        self._skipped_lines = 0
+        self._load()
+
+    # -- persistence ------------------------------------------------------
+
+    def _load(self) -> None:
+        self._records = {}
+        self._loaded_lines = self._skipped_lines = 0
+        if not self.path.exists():
+            return
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self._skipped_lines += 1
+                continue
+            if not isinstance(record, dict) or "key" not in record:
+                self._skipped_lines += 1
+                continue
+            self._records[record["key"]] = record  # last writer wins
+            self._loaded_lines += 1
+
+    def _append_line(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _rewrite(self) -> None:
+        """Compact: rewrite the file with one line per live key."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                for record in self._records.values():
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- core API ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Union[str, RunConfig]) -> bool:
+        return self._key(key) in self._records
+
+    @staticmethod
+    def _key(key: Union[str, RunConfig]) -> str:
+        return config_hash(key) if isinstance(key, RunConfig) else key
+
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+    def get(self, key: Union[str, RunConfig]) -> Optional[dict]:
+        """The stored record for a config (or raw key), or ``None``."""
+        return self._records.get(self._key(key))
+
+    def get_result(self, key: Union[str, RunConfig]) -> Optional[RunResult]:
+        """The stored :class:`RunResult`, re-hydrated, or ``None``."""
+        record = self.get(key)
+        if record is None:
+            return None
+        return RunResult.from_dict(record["result"])
+
+    def put(self, config: RunConfig, result: RunResult,
+            meta: Optional[dict] = None,
+            label: Optional[str] = None) -> dict:
+        """Durably record one completed run; returns the record."""
+        record = make_record(config, result, meta=meta, label=label)
+        return self.put_record(record)
+
+    def put_record(self, record: dict) -> dict:
+        """Durably record a pre-built record (must carry the schema keys)."""
+        missing = [k for k in _SCHEMA_KEYS if k not in record]
+        if missing:
+            raise ValueError(f"record missing key(s): {missing!r}")
+        with self._lock:
+            self._append_line(record)
+            self._records[record["key"]] = record
+        return record
+
+    # -- query / maintenance ---------------------------------------------
+
+    def records(self) -> Iterator[dict]:
+        """All live records, in insertion (file) order."""
+        return iter(list(self._records.values()))
+
+    def query(self, predicate: Optional[Callable[[dict], bool]] = None,
+              **config_filters) -> List[dict]:
+        """Records whose stored config matches every filter.
+
+        ``store.query(program="redis", frontend="stlt")`` matches on the
+        stored config dict; an optional ``predicate`` receives the whole
+        record for arbitrary conditions (e.g. on the result or meta).
+        """
+        out = []
+        for record in self._records.values():
+            config = record.get("config", {})
+            if any(config.get(k) != v for k, v in config_filters.items()):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def invalidate(self, key: Union[str, RunConfig]) -> bool:
+        """Drop one record (and compact the file); True if it existed."""
+        resolved = self._key(key)
+        with self._lock:
+            if resolved not in self._records:
+                return False
+            del self._records[resolved]
+            self._rewrite()
+        return True
+
+    def invalidate_where(self, **config_filters) -> int:
+        """Drop every record matching the config filters; returns count."""
+        doomed = [r["key"] for r in self.query(**config_filters)]
+        with self._lock:
+            for key in doomed:
+                self._records.pop(key, None)
+            if doomed:
+                self._rewrite()
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (the file becomes empty but remains)."""
+        with self._lock:
+            self._records.clear()
+            self._rewrite()
+
+    @property
+    def skipped_lines(self) -> int:
+        """Corrupt lines ignored by the last load (diagnostics)."""
+        return self._skipped_lines

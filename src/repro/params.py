@@ -159,6 +159,30 @@ class MachineParams:
             raise ConfigError("page size must be a power of two")
 
 
+def machine_from_dict(data: dict) -> MachineParams:
+    """Rebuild a :class:`MachineParams` from ``dataclasses.asdict`` output.
+
+    The inverse of ``dataclasses.asdict(machine)``; used by the
+    experiment store (``repro.exp``) to round-trip full run
+    configurations through JSON.  Unknown keys raise ``TypeError`` so a
+    record written by a newer schema fails loudly instead of silently
+    dropping parameters.
+    """
+    machine = MachineParams(
+        l1d=CacheParams(**data["l1d"]),
+        l2=CacheParams(**data["l2"]),
+        l3=CacheParams(**data["l3"]),
+        dtlb=TLBParams(**data["dtlb"]),
+        stlb=TLBParams(**data["stlb"]),
+        dram=DRAMParams(**data["dram"]),
+        instr=InstructionCosts(**data["instr"]),
+        line_bytes=data["line_bytes"],
+        page_bytes=data["page_bytes"],
+    )
+    machine.validate()
+    return machine
+
+
 #: Shared default machine; components copy parameters from it but never
 #: mutate it (the dataclass is frozen).
 DEFAULT_MACHINE = MachineParams()

@@ -9,11 +9,13 @@ preserved as *ratios* (rows per key, footprint over TLB reach).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Optional, Tuple
 
 from ..errors import ConfigError
-from ..params import SCALED_MACHINE, MachineParams
+from ..params import SCALED_MACHINE, MachineParams, machine_from_dict
 
 PROGRAMS = ("redis", "unordered_map", "dense_hash_map", "ordered_map", "btree")
 FRONTENDS = ("baseline", "slb", "stlt", "stlt_va", "stlt_sw")
@@ -106,9 +108,61 @@ class RunConfig:
     def with_frontend(self, frontend: str) -> "RunConfig":
         return replace(self, frontend=frontend)
 
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Every field (including the full machine) as plain JSON-native
+        data — tuples become lists, so the dict compares equal to a
+        JSON round trip of itself."""
+        data = asdict(self)
+        data["prefetchers"] = list(data["prefetchers"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown RunConfig field(s): {sorted(unknown)!r}")
+        kwargs = dict(data)
+        if "prefetchers" in kwargs:
+            kwargs["prefetchers"] = tuple(kwargs["prefetchers"])
+        if "machine" in kwargs and isinstance(kwargs["machine"], dict):
+            kwargs["machine"] = machine_from_dict(kwargs["machine"])
+        return cls(**kwargs)
+
+    @property
+    def content_hash(self) -> str:
+        """Stable content hash over *all* fields (machine included).
+
+        This is the cache/store key of ``repro.exp``: any change to any
+        field — including a nested machine parameter — produces a new
+        key, so a stale result can never be served for a different
+        configuration.  (The old benchmark cache hand-listed fields and
+        silently omitted ``machine``.)
+        """
+        return config_hash(self)
+
     @property
     def label(self) -> str:
         return (
             f"{self.program}/{self.frontend}/{self.distribution}"
             f"-{self.value_size}B"
         )
+
+
+def config_hash(config: RunConfig) -> str:
+    """SHA-256 over the canonical JSON of ``config.to_dict()``.
+
+    Canonical means sorted keys and no whitespace, so the digest is
+    independent of field ordering and stable across processes and
+    Python versions (no ``repr()`` involved).  Tuples serialise as JSON
+    arrays, which is fine: the encoding only needs to be injective over
+    configurations, not reversible (the store keeps the full dict
+    alongside the key).
+    """
+    canonical = json.dumps(config.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

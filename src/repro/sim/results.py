@@ -8,9 +8,10 @@ the metrics of Figs. 11-19.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional, Sequence
 
+from ..errors import ReproError
 from ..mem.stats import MemoryStats
 
 
@@ -55,6 +56,31 @@ class RunResult:
         if not self.cycles:
             return 0.0
         return sum(self.attr.get(c, 0) for c in categories) / self.cycles
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """All fields as plain JSON-serialisable data (exact round trip).
+
+        The memory-statistics bundle nests as a plain dict; every other
+        field is already a scalar, dict, or ``None``.  Consumed by the
+        durable result store (``repro.exp.store``) and the ``--json``
+        CLI output.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"unknown RunResult field(s): {sorted(unknown)!r}")
+        kwargs = dict(data)
+        if isinstance(kwargs.get("mem"), dict):
+            kwargs["mem"] = MemoryStats(**kwargs["mem"])
+        return cls(**kwargs)
 
 
 def speedup(baseline: RunResult, other: RunResult) -> float:

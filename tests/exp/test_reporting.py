@@ -1,0 +1,80 @@
+"""Reporting tests: metrics shape and table rendering."""
+
+from repro.exp import SweepRunner, points_from_configs
+from repro.exp.reporting import (
+    metrics_from_record,
+    speedup_table,
+    summary_table,
+)
+from repro.exp.store import make_record
+from repro.sim.config import RunConfig
+
+from tests.exp.workers import fake_run
+
+EXPECTED_METRIC_KEYS = {
+    "cycles_per_op", "cycles", "ops", "tlb_misses", "cache_misses",
+    "page_walks", "dram_accesses", "llc_miss_rate", "fast_miss_rate",
+    "fast_table_bytes", "stb_hits", "attr", "prefetches_issued",
+    "prefetch_accuracy",
+}
+
+
+def record_for(**overrides):
+    config = RunConfig(num_keys=100, measure_ops=20, **overrides)
+    return make_record(config, fake_run(config))
+
+
+class TestMetrics:
+    def test_metrics_shape_matches_legacy_harness(self):
+        metrics = metrics_from_record(record_for())
+        assert set(metrics) == EXPECTED_METRIC_KEYS
+
+    def test_metrics_values_match_result_properties(self):
+        config = RunConfig(num_keys=100, measure_ops=20)
+        result = fake_run(config)
+        metrics = metrics_from_record(make_record(config, result))
+        assert metrics["cycles_per_op"] == result.cycles_per_op
+        assert metrics["cycles"] == result.cycles
+        assert metrics["tlb_misses"] == result.tlb_misses
+        assert metrics["fast_miss_rate"] == result.fast_miss_rate
+        assert metrics["attr"] == result.attr
+
+
+class TestTables:
+    def _report(self, tmp_path):
+        configs = [
+            RunConfig(num_keys=100, measure_ops=20, frontend=f)
+            for f in ("baseline", "slb", "stlt")
+        ]
+        return SweepRunner(jobs=1, run_fn=fake_run).run(
+            points_from_configs(configs))
+
+    def test_summary_table_lists_every_outcome(self, tmp_path):
+        report = self._report(tmp_path)
+        text = summary_table(report)
+        for outcome in report:
+            assert outcome.label in text
+        assert "cycles/op" in text
+
+    def test_summary_table_handles_failures(self, tmp_path):
+        from tests.exp.workers import raise_on_fault_seed
+        configs = [RunConfig(num_keys=100, measure_ops=20, seed=s)
+                   for s in (1, 3)]
+        report = SweepRunner(jobs=1, retries=0, backoff=0.0,
+                             run_fn=raise_on_fault_seed).run(
+            points_from_configs(configs))
+        text = summary_table(report)
+        assert "failed" in text
+
+    def test_speedup_table_normalises_against_baseline(self, tmp_path):
+        report = self._report(tmp_path)
+        records = [o.record for o in report]
+        text = speedup_table(records)
+        # baseline 4100 cycles; slb 2100 -> 1.95x; stlt 1100 -> 3.73x
+        assert "1.95x" in text
+        assert "3.73x" in text
+        assert "baseline" not in text.splitlines()[-1]
+
+    def test_speedup_table_without_baseline(self):
+        records = [record_for(frontend="stlt")]
+        assert "no baseline" in speedup_table(records)

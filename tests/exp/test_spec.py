@@ -1,0 +1,167 @@
+"""SweepSpec expansion, serialisation, and named-sweep tests."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exp.spec import (
+    SIZE_SWEEP_RATIOS,
+    SweepSpec,
+    builtin_sweeps,
+    get_sweep,
+    points_from_configs,
+    rows_for_ratio,
+    size_sweep_points,
+)
+from repro.sim.config import RunConfig
+
+
+class TestExpansion:
+    def test_grid_is_cartesian_product(self):
+        spec = SweepSpec(name="g", grid={"program": ["redis", "btree"],
+                                         "frontend": ["baseline", "stlt"]})
+        points = spec.expand()
+        assert len(points) == 4
+        combos = {(p.config.program, p.config.frontend) for p in points}
+        assert combos == {("redis", "baseline"), ("redis", "stlt"),
+                          ("btree", "baseline"), ("btree", "stlt")}
+
+    def test_expansion_order_is_deterministic(self):
+        spec = SweepSpec(name="g", grid={"program": ["redis", "btree"],
+                                         "seed": [1, 2]})
+        labels = [p.label for p in spec.expand()]
+        assert labels == [p.label for p in spec.expand()]
+        # last axis fastest, like nested loops
+        assert labels[0] == "g[program=redis,seed=1]"
+        assert labels[1] == "g[program=redis,seed=2]"
+        assert labels[2] == "g[program=btree,seed=1]"
+
+    def test_zipped_axes_advance_together(self):
+        spec = SweepSpec(name="z",
+                         zipped={"num_keys": [1000, 2000],
+                                 "stlt_rows": [1024, 4096]})
+        points = spec.expand()
+        assert len(points) == 2
+        assert [(p.config.num_keys, p.config.stlt_rows) for p in points] \
+            == [(1000, 1024), (2000, 4096)]
+
+    def test_grid_times_zip(self):
+        spec = SweepSpec(name="gz",
+                         grid={"frontend": ["baseline", "stlt"]},
+                         zipped={"seed": [1, 2, 3]})
+        assert len(spec.expand()) == 6
+
+    def test_base_applies_everywhere(self):
+        spec = SweepSpec(name="b", base={"num_keys": 777},
+                         grid={"frontend": ["baseline", "stlt"]})
+        assert all(p.config.num_keys == 777 for p in spec.expand())
+
+    def test_labels_are_unique(self):
+        spec = SweepSpec(name="u", grid={"program": ["redis", "btree"],
+                                         "seed": [1, 2, 3]})
+        labels = [p.label for p in spec.expand()]
+        assert len(set(labels)) == len(labels)
+
+    def test_point_key_is_config_hash(self):
+        point = SweepSpec(name="k", grid={"seed": [5]}).expand()[0]
+        assert point.key == point.config.content_hash
+
+
+class TestValidation:
+    def test_overlapping_axes_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(name="x", grid={"seed": [1]}, zipped={"seed": [2]})
+
+    def test_unequal_zip_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(name="x", zipped={"a": [1], "b": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(name="x", grid={"seed": []})
+
+    def test_unknown_config_field_rejected_at_expand(self):
+        spec = SweepSpec(name="x", grid={"warp_factor": [9]})
+        with pytest.raises(ConfigError):
+            spec.expand()
+
+    def test_invalid_config_value_propagates(self):
+        spec = SweepSpec(name="x", grid={"program": ["rocksdb"]})
+        with pytest.raises(ConfigError):
+            spec.expand()
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        spec = SweepSpec(name="rt", base={"num_keys": 500},
+                         grid={"frontend": ["baseline", "stlt"]},
+                         zipped={"seed": [1, 2]})
+        rebuilt = SweepSpec.from_dict(spec.to_dict())
+        assert rebuilt.to_dict() == spec.to_dict()
+        assert [p.label for p in rebuilt.expand()] \
+            == [p.label for p in spec.expand()]
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "filed",
+            "base": {"num_keys": 300, "measure_ops": 50},
+            "grid": {"frontend": ["baseline", "slb"]},
+        }))
+        points = SweepSpec.from_file(path).expand()
+        assert len(points) == 2
+        assert points[0].config.num_keys == 300
+
+    def test_from_file_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError):
+            SweepSpec.from_file(path)
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec.from_dict({"name": "x", "axes": {}})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec.from_dict({"grid": {}})
+
+
+class TestExplicitPoints:
+    def test_points_from_configs_keeps_order(self):
+        configs = [RunConfig(seed=s) for s in (3, 1, 2)]
+        points = points_from_configs(configs)
+        assert [p.config.seed for p in points] == [3, 1, 2]
+
+    def test_labels_must_match_length(self):
+        with pytest.raises(ConfigError):
+            points_from_configs([RunConfig()], labels=["a", "b"])
+
+
+class TestNamedSweeps:
+    def test_builtin_names(self):
+        assert "smoke" in builtin_sweeps()
+        assert "size" in builtin_sweeps()
+
+    def test_smoke_is_small(self):
+        points = get_sweep("smoke")
+        assert 0 < len(points) <= 12
+        assert all(p.config.num_keys <= 1000 for p in points)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            get_sweep("nope")
+
+    def test_size_sweep_shares_baseline(self):
+        points = size_sweep_points(2000, 100, programs=("btree",))
+        baselines = [p for p in points if p.config.frontend == "baseline"]
+        assert len(baselines) == 1
+        others = [p for p in points if p.config.frontend != "baseline"]
+        assert len(others) == 2 * len(SIZE_SWEEP_RATIOS)
+
+    def test_rows_for_ratio_power_of_two_and_floor(self):
+        assert rows_for_ratio(0.125, 2000) == 1024  # floor
+        rows = rows_for_ratio(4.0, 50000)
+        assert rows & (rows - 1) == 0
+        assert rows >= 200000

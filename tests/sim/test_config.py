@@ -73,3 +73,69 @@ class TestDerivedDefaults:
     def test_default_machine_is_scaled(self):
         cfg = RunConfig()
         assert cfg.machine.l3.size_bytes < DEFAULT_MACHINE.l3.size_bytes
+
+
+class TestSerialisationAndHash:
+    def test_to_dict_from_dict_round_trip(self):
+        cfg = RunConfig(program="redis", frontend="stlt", num_keys=5000,
+                        measure_ops=800, prefetchers=("stream", "vldp"),
+                        machine=DEFAULT_MACHINE)
+        rebuilt = RunConfig.from_dict(cfg.to_dict())
+        assert rebuilt == cfg
+
+    def test_from_dict_survives_json(self):
+        import json
+        cfg = RunConfig(program="btree", prefetchers=("tlb_distance",))
+        data = json.loads(json.dumps(cfg.to_dict()))
+        assert RunConfig.from_dict(data) == cfg
+
+    def test_from_dict_rejects_unknown_field(self):
+        data = RunConfig().to_dict()
+        data["turbo"] = True
+        with pytest.raises(ConfigError):
+            RunConfig.from_dict(data)
+
+    def test_content_hash_stable(self):
+        a = RunConfig(num_keys=1234)
+        b = RunConfig(num_keys=1234)
+        assert a.content_hash == b.content_hash
+        assert len(a.content_hash) == 64
+
+    def test_content_hash_distinguishes_every_surface_field(self):
+        base = RunConfig()
+        variants = [
+            RunConfig(program="redis"),
+            RunConfig(frontend="slb"),
+            RunConfig(distribution="uniform"),
+            RunConfig(value_size=128),
+            RunConfig(num_keys=base.num_keys + 1),
+            RunConfig(measure_ops=base.measure_ops + 1),
+            RunConfig(warmup_ops=7),
+            RunConfig(stlt_rows=2048),
+            RunConfig(stlt_ways=8),
+            RunConfig(fast_hash="djb2"),
+            RunConfig(slb_entries=512),
+            RunConfig(prefetchers=("stream",)),
+            RunConfig(prefill=False),
+            RunConfig(seed=2),
+        ]
+        hashes = {v.content_hash for v in variants}
+        assert len(hashes) == len(variants)
+        assert base.content_hash not in hashes
+
+    def test_content_hash_sees_the_machine(self):
+        """Regression: the old benchmark cache key omitted the machine,
+        so changing the machine model could serve stale results."""
+        scaled = RunConfig()
+        literal = RunConfig(machine=DEFAULT_MACHINE)
+        assert scaled.content_hash != literal.content_hash
+
+    def test_content_hash_sees_nested_machine_fields(self):
+        from dataclasses import replace
+        from repro.params import CacheParams
+        tweaked = replace(
+            DEFAULT_MACHINE,
+            l3=CacheParams("L3", 4 * 1024 * 1024, 8, 40))
+        a = RunConfig(machine=DEFAULT_MACHINE)
+        b = RunConfig(machine=tweaked)
+        assert a.content_hash != b.content_hash

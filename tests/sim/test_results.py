@@ -1,7 +1,12 @@
 """Result metric tests."""
 
-import pytest
+import dataclasses
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
 from repro.mem.stats import MemoryStats
 from repro.sim.results import (
     RunResult,
@@ -44,6 +49,63 @@ class TestMetrics:
         r = result(1000, attr={"hash": 100, "index": 400})
         assert r.attr_share("hash") == pytest.approx(0.1)
         assert r.attr_share("hash", "index") == pytest.approx(0.5)
+
+
+_counts = st.integers(min_value=0, max_value=10**12)
+
+_mem_stats = st.builds(
+    MemoryStats,
+    **{f.name: _counts for f in dataclasses.fields(MemoryStats)},
+)
+
+_run_results = st.builds(
+    RunResult,
+    label=st.text(max_size=30),
+    frontend=st.sampled_from(
+        ["baseline", "slb", "stlt", "stlt_va", "stlt_sw"]),
+    cycles=_counts,
+    ops=_counts,
+    gets=_counts,
+    sets=_counts,
+    mem=_mem_stats,
+    attr=st.dictionaries(
+        st.sampled_from(["hash", "index", "translation", "value", "other"]),
+        _counts, max_size=5),
+    fast_miss_rate=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1.0)),
+    fast_occupancy=st.one_of(st.none(), _counts),
+    fast_table_bytes=st.one_of(st.none(), _counts),
+)
+
+
+class TestSerialisation:
+    @settings(max_examples=60, deadline=None)
+    @given(_run_results)
+    def test_round_trip_is_exact(self, run_result):
+        """to_dict -> from_dict reproduces every field exactly."""
+        data = run_result.to_dict()
+        rebuilt = RunResult.from_dict(data)
+        assert rebuilt == run_result
+        # and the dict itself round-trips (store writes it as JSON)
+        assert rebuilt.to_dict() == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(_run_results)
+    def test_round_trip_survives_json(self, run_result):
+        import json
+        data = json.loads(json.dumps(run_result.to_dict()))
+        assert RunResult.from_dict(data) == run_result
+
+    def test_dict_is_plain_data(self):
+        data = result(1000).to_dict()
+        assert isinstance(data["mem"], dict)
+        assert data["mem"]["accesses"] == 0
+
+    def test_unknown_field_rejected(self):
+        data = result(1000).to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ReproError):
+            RunResult.from_dict(data)
 
 
 class TestFormatting:

@@ -1,8 +1,11 @@
 """CLI tests (``python -m repro``)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.sim.config import RunConfig, config_hash
 
 
 class TestParser:
@@ -60,3 +63,93 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "table miss" not in out
+
+
+RUN_ARGS = ["--keys", "2000", "--ops", "400", "--warmup-ops", "800"]
+
+
+class TestJsonOutput:
+    def test_run_json_is_a_store_record(self, capsys):
+        rc = main(["run", "--json"] + RUN_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert set(record) >= {"key", "label", "config", "result", "meta"}
+        # the key is the content hash of the exact config that ran
+        config = RunConfig.from_dict(record["config"])
+        assert record["key"] == config_hash(config)
+        assert config.num_keys == 2000
+        assert record["result"]["ops"] == 400
+        assert record["result"]["cycles"] > 0
+
+    def test_run_json_with_baseline_comparison(self, capsys):
+        rc = main(["run", "--json", "--compare-baseline"] + RUN_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["baseline"]["config"]["frontend"] == "baseline"
+        assert record["speedup"] > 0
+
+    def test_breakdown_json_carries_shares(self, capsys):
+        rc = main(["breakdown", "--json", "--program", "redis"] + RUN_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert set(record) >= {"key", "config", "result", "shares",
+                               "addressing_share"}
+        assert record["addressing_share"] == pytest.approx(
+            sum(record["shares"].get(c, 0.0) for c in
+                ("hash", "index", "translation", "compare", "record",
+                 "stlt", "slb")))
+
+
+class TestSweepCommand:
+    SPEC = {
+        "name": "mini",
+        "base": {"num_keys": 400, "measure_ops": 80, "warmup_ops": 160},
+        "grid": {"frontend": ["baseline", "stlt"]},
+    }
+
+    def _spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_requires_name_xor_spec(self, capsys, tmp_path):
+        assert main(["sweep", "--quiet"]) == 2
+        assert main(["sweep", "smoke", "--spec",
+                     self._spec_file(tmp_path)]) == 2
+
+    def test_sweep_spec_file_runs_and_prints_tables(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        rc = main(["sweep", "--spec", self._spec_file(tmp_path),
+                   "--jobs", "2", "--store", store, "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 completed, 0 cached, 0 failed" in out
+        assert "speedup" in out
+
+    def test_second_invocation_is_cached(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        spec = self._spec_file(tmp_path)
+        assert main(["sweep", "--spec", spec, "--jobs", "1",
+                     "--store", store, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--spec", spec, "--jobs", "1",
+                     "--store", store, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 completed, 2 cached, 0 failed" in out
+
+    def test_sweep_json_emits_one_record_per_point(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        rc = main(["sweep", "--spec", self._spec_file(tmp_path),
+                   "--jobs", "1", "--store", store, "--quiet", "--json"])
+        assert rc == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+        assert len(lines) == 2
+        assert {line["status"] for line in lines} == {"completed"}
+        assert all("result" in line for line in lines)
+
+    def test_unknown_named_sweep_fails_loudly(self, tmp_path):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            main(["sweep", "definitely-not-a-sweep", "--quiet",
+                  "--store", str(tmp_path / "s.jsonl")])
