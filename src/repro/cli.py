@@ -44,6 +44,7 @@ from .exp import (
     builtin_sweeps,
     get_sweep,
     make_record,
+    scaling_table,
     speedup_table,
     summary_table,
 )
@@ -73,6 +74,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--prefetchers", nargs="*", default=(),
                         choices=("stream", "vldp", "tlb_distance"))
     parser.add_argument("--no-prefill", action="store_true")
+    parser.add_argument("--cores", type=int, default=1,
+                        help="simulated cores, each streaming its own "
+                             "workload over the shared store")
     parser.add_argument("--seed", type=int, default=1)
 
 
@@ -90,6 +94,7 @@ def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
         fast_hash=args.fast_hash,
         prefetchers=tuple(args.prefetchers),
         prefill=not args.no_prefill,
+        num_cores=args.cores,
         seed=args.seed,
     )
 
@@ -103,11 +108,25 @@ def _print_result(result: RunResult) -> None:
     print(f"page walks    : {result.page_walks}")
     print(f"L1 misses     : {result.cache_misses}")
     print(f"DRAM accesses : {result.mem.dram_accesses}")
+    print(f"DRAM busy     : {result.mem.dram_busy_fraction:.1%} of cycles")
+    if result.mem.dram_max_queue_cycles:
+        print(f"DRAM max queue: {result.mem.dram_max_queue_cycles} cycles")
     if result.fast_miss_rate is not None:
         print(f"table miss    : {result.fast_miss_rate:.2%}")
         print(f"table size    : {result.fast_table_bytes >> 10} KiB")
     if result.mem.stb_hits:
         print(f"STB hits      : {result.mem.stb_hits}")
+    if result.cores:
+        print(f"cores         : {result.num_cores}")
+        print(f"throughput    : {result.throughput:.4f} ops/cycle")
+        fairness = result.fairness
+        if fairness is not None:
+            print(f"fairness      : {fairness:.4f} (Jain)")
+        for core in result.per_core_results():
+            miss = ("" if core.fast_miss_rate is None
+                    else f"  table miss {core.fast_miss_rate:.2%}")
+            print(f"  core {core.core_id}: {core.ops} ops, "
+                  f"{core.cycles_per_op:.1f} cycles/op{miss}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -186,6 +205,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if "no baseline" not in table:
             print()
             print(table)
+        cores = scaling_table(records)
+        if "no multi-core" not in cores:
+            print()
+            print(cores)
         print()
         print(report.summary())
         for outcome in report.failed:

@@ -17,7 +17,7 @@ Every process can have at most one STLT.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from ..errors import STLTError
 from ..mem.address_space import AddressSpace
@@ -29,12 +29,26 @@ from .stu import STU
 
 
 class OSInterface:
-    """Kernel-side manager of one process's STLT."""
+    """Kernel-side manager of one process's STLT.
 
-    def __init__(self, space: AddressSpace, mem: MemorySystem, stu: STU) -> None:
+    The STLT is one shared kernel structure; on a multi-core machine the
+    process runs on several cores, each with its own STU/STB.  Pass a
+    sequence of STUs (one per core, sharing one IPB) and the kernel
+    protocol broadcasts: ``STLTalloc`` loads CR_S on every core, and a
+    page invalidation scrubs every core's STB before entering the shared
+    IPB.  A single STU keeps the original single-core behaviour.
+    """
+
+    def __init__(self, space: AddressSpace, mem: MemorySystem,
+                 stu: Union[STU, Sequence[STU]]) -> None:
         self.space = space
         self.mem = mem
-        self.stu = stu
+        self.stus: List[STU] = (
+            list(stu) if isinstance(stu, (list, tuple)) else [stu])
+        if not self.stus:
+            raise STLTError("OSInterface needs at least one STU")
+        #: compatibility alias: the first (or only) core's STU
+        self.stu = self.stus[0]
         self.stlt: Optional[STLT] = None
         self._stlt_kernel_va: Optional[int] = None
         #: per-process kernel array of invalidated vpns (program context)
@@ -50,7 +64,8 @@ class OSInterface:
     def stlt_alloc(self, num_rows: int, ways: int = 4,
                    counter_policy: Optional[ProbabilisticCounterPolicy] = None,
                    seed: int = 0x51C7) -> STLT:
-        """STLTalloc: create the process's STLT and load CR_S."""
+        """STLTalloc: create the process's STLT and load CR_S on every
+        core the process runs on."""
         if self.stlt is not None:
             raise STLTError("every process can have at most one STLT")
         kernel_va = self.space.alloc_region(num_rows * ROW_BYTES, kernel=True)
@@ -61,7 +76,8 @@ class OSInterface:
                     counter_policy=counter_policy, seed=seed)
         self.stlt = stlt
         self._stlt_kernel_va = kernel_va
-        self.stu.attach_stlt(stlt)
+        for stu in self.stus:
+            stu.attach_stlt(stlt)
         return stlt
 
     def stlt_resize(self, num_rows: int) -> STLT:
@@ -79,10 +95,11 @@ class OSInterface:
         return self.stlt_alloc(num_rows, ways=ways, counter_policy=policy)
 
     def stlt_free(self) -> None:
-        """STLTfree: drop the table and clear CR_S."""
+        """STLTfree: drop the table and clear CR_S on every core."""
         if self.stlt is None:
             raise STLTError("STLTfree with no STLT allocated")
-        self.stu.detach_stlt()
+        for stu in self.stus:
+            stu.detach_stlt()
         self.stlt = None
         self._stlt_kernel_va = None
         self._invalidated_vpns.clear()
@@ -92,12 +109,15 @@ class OSInterface:
     # ------------------------------------------------------------------
 
     def _on_page_invalidate(self, vpn: int) -> None:
-        # the wrapped invlpg (TLB + STB invalidation) runs in the memory
-        # system's own hook; here the kernel adds the STLT-side protocol
-        self.stu.stb.invalidate(vpn)  # even when detached from the mem
+        # the wrapped invlpg (TLB + STB invalidation) runs in each memory
+        # system's own hook; here the kernel adds the STLT-side protocol,
+        # which must reach *every* core's STB (even when detached from
+        # the mem) before the page enters the shared IPB
+        for stu in self.stus:
+            stu.stb.invalidate(vpn)
         if self.stlt is None:
             return
-        ipb = self.stu.ipb
+        ipb = self.stu.ipb  # shared across cores when the engine wired it so
         if ipb.is_full():
             # rare slow path: clear the IPB and scrub the STLT of every
             # page invalidated since the last scrub

@@ -61,14 +61,23 @@ class CRS:
 
 
 class STU:
-    """The system translation unit attached to one core."""
+    """The system translation unit attached to one core.
 
-    def __init__(self, mem: MemorySystem, va_only: bool = False) -> None:
+    The STB, the insertion buffer, and the SPTW are private to the core;
+    the STLT is a shared kernel structure (attached via CR_S), and the
+    IPB — which mirrors the kernel's invalidated-page protocol — is
+    shared too: pass one ``ipb`` to every core's STU so an invalidation
+    recorded by any core filters stale rows on all of them.  A STU built
+    without one owns a private IPB (the single-core case).
+    """
+
+    def __init__(self, mem: MemorySystem, va_only: bool = False,
+                 ipb: Optional[IPB] = None) -> None:
         self.mem = mem
         self.crs = CRS()
         self.stlt: Optional[STLT] = None
         self.stb = STB()
-        self.ipb = IPB()
+        self.ipb = IPB() if ipb is None else ipb
         self.insertion_buffer = InsertionBuffer()
         self.sptw = SimplifiedPTW(mem)
         #: STLT-VA ablation (Fig. 19 left): rows retain only VAs — no

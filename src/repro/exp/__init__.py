@@ -28,7 +28,12 @@ Typical use::
 """
 
 from .progress import NullProgress, ProgressReporter
-from .reporting import metrics_from_record, speedup_table, summary_table
+from .reporting import (
+    metrics_from_record,
+    scaling_table,
+    speedup_table,
+    summary_table,
+)
 from .runner import (
     STATUS_CACHED,
     STATUS_COMPLETED,
@@ -67,6 +72,7 @@ __all__ = [
     "metrics_from_record",
     "points_from_configs",
     "size_sweep_points",
+    "scaling_table",
     "speedup_table",
     "summary_table",
 ]

@@ -19,7 +19,8 @@ from typing import Dict, Iterable, List, Tuple
 
 from ..sim.results import RunResult, format_table
 
-__all__ = ["metrics_from_record", "summary_table", "speedup_table"]
+__all__ = ["metrics_from_record", "summary_table", "speedup_table",
+           "scaling_table"]
 
 
 def metrics_from_record(record: dict) -> dict:
@@ -45,6 +46,14 @@ def metrics_from_record(record: dict) -> dict:
         "attr": result.attr,
         "prefetches_issued": result.mem.prefetches_issued,
         "prefetch_accuracy": result.mem.prefetch_accuracy,
+        # multi-core / DRAM-channel observability (PR 2): single-core
+        # runs report num_cores=1, fairness None, and their own channel
+        # pressure, so the dict shape is uniform across sweeps
+        "num_cores": result.num_cores,
+        "throughput": result.throughput,
+        "fairness": result.fairness,
+        "dram_busy_fraction": result.mem.dram_busy_fraction,
+        "dram_max_queue_cycles": result.mem.dram_max_queue_cycles,
     }
 
 
@@ -73,6 +82,56 @@ def summary_table(report) -> str:
         rows)
 
 
+def scaling_table(records: Iterable[dict]) -> str:
+    """Core-count scalability: throughput, fairness, per-core hit rates.
+
+    Renders one row per multi-core-relevant record (any record when the
+    sweep contains at least one ``num_cores > 1`` run), grouped by
+    (program, frontend) and sorted by core count so the scaling trend
+    reads top to bottom.  The per-core column shows each core's
+    shared-fast-table hit rate from the aggregate's per-core payloads.
+    """
+    relevant = []
+    for record in records:
+        result = RunResult.from_dict(record["result"])
+        config = record.get("config", {})
+        relevant.append((config.get("program"), result.frontend,
+                         result.num_cores, result))
+    if not any(cores > 1 for _, _, cores, _ in relevant):
+        return "(no multi-core records)"
+
+    singles = {(program, frontend): result.throughput
+               for program, frontend, cores, result in relevant
+               if cores == 1 and result.throughput}
+    rows: List[List[str]] = []
+    for program, frontend, cores, result in sorted(
+            relevant, key=lambda r: (str(r[0]), str(r[1]), r[2])):
+        single = singles.get((program, frontend))
+        scaling = (f"{result.throughput / single:.2f}x"
+                   if single else "-")
+        fairness = result.fairness
+        per_core = []
+        for core in result.per_core_results():
+            if core.fast_miss_rate is None:
+                per_core = []
+                break
+            per_core.append(f"{1.0 - core.fast_miss_rate:.0%}")
+        rows.append([
+            str(program),
+            str(frontend),
+            str(cores),
+            f"{result.throughput:.4f}",
+            scaling,
+            "-" if fairness is None else f"{fairness:.3f}",
+            f"{result.mem.dram_busy_fraction:.1%}",
+            "/".join(per_core) if per_core else "-",
+        ])
+    return format_table(
+        ["program", "frontend", "cores", "ops/cycle", "scaling",
+         "fairness", "DRAM busy", "table hits/core"],
+        rows)
+
+
 def _group_key(config: dict) -> Tuple:
     """Workload identity shared by comparable runs (front-end excluded)."""
     return (
@@ -82,6 +141,7 @@ def _group_key(config: dict) -> Tuple:
         config.get("num_keys"),
         config.get("measure_ops"),
         config.get("warmup_ops"),
+        config.get("num_cores"),
         config.get("seed"),
     )
 

@@ -38,6 +38,7 @@ __all__ = [
     "points_from_configs",
     "rows_for_ratio",
     "size_sweep_points",
+    "CORE_SWEEP_COUNTS",
     "SIZE_SWEEP_RATIOS",
 ]
 
@@ -260,6 +261,21 @@ def _smoke_points() -> List[SweepPoint]:
     return spec.expand()
 
 
+def _smoke_mc_points() -> List[SweepPoint]:
+    """Two-core companion of ``smoke``: exercises the interleaver, the
+    shared-STLT broadcast, and aggregate serialisation in seconds."""
+    spec = SweepSpec(
+        name="smoke_mc",
+        base=dict(num_keys=200, measure_ops=60, warmup_ops=120,
+                  num_cores=2),
+        grid={
+            "program": ["unordered_map"],
+            "frontend": ["baseline", "stlt"],
+        },
+    )
+    return spec.expand()
+
+
 def _size_points() -> List[SweepPoint]:
     import os
     num_keys = int(os.environ.get("REPRO_BENCH_KEYS", "50000"))
@@ -267,10 +283,40 @@ def _size_points() -> List[SweepPoint]:
     return size_sweep_points(num_keys, measure_ops)
 
 
+#: core counts of the scalability sweep (the paper's machine has 8 OoO
+#: cores, Table III)
+CORE_SWEEP_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def _cores_points() -> List[SweepPoint]:
+    """Core-count scalability: baseline vs shared-STLT throughput.
+
+    Each core streams its own workload, so total measured work scales
+    with the core count while the store, STLT, L3 and the DRAM channel
+    stay shared — aggregate throughput (ops/cycle) shows how far the
+    shared levels carry, and the per-core payloads hold each core's
+    shared-STLT hit rate.
+    """
+    import os
+    num_keys = int(os.environ.get("REPRO_BENCH_KEYS", "20000"))
+    measure_ops = int(os.environ.get("REPRO_BENCH_OPS", "2000"))
+    spec = SweepSpec(
+        name="cores",
+        base=dict(num_keys=num_keys, measure_ops=measure_ops),
+        grid={
+            "frontend": ["baseline", "stlt"],
+            "num_cores": list(CORE_SWEEP_COUNTS),
+        },
+    )
+    return spec.expand()
+
+
 #: named campaigns runnable as ``repro sweep <name>``
 _BUILTIN: Dict[str, Callable[[], List[SweepPoint]]] = {
     "smoke": _smoke_points,
+    "smoke_mc": _smoke_mc_points,
     "size": _size_points,
+    "cores": _cores_points,
 }
 
 

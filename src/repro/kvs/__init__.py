@@ -7,7 +7,7 @@ memory accesses for every node they touch, so TLB and cache behaviour —
 the paper's entire subject — emerge from real traversals.
 """
 
-from .base import Index, SimContext
+from .base import CoreContext, Index, SharedContext, SimContext
 from .btree import BTreeIndex
 from .chained_hash import ChainedHashIndex
 from .open_hash import OpenHashIndex
@@ -18,7 +18,9 @@ from .redis_model import RedisModel
 __all__ = [
     "BTreeIndex",
     "ChainedHashIndex",
+    "CoreContext",
     "Index",
+    "SharedContext",
     "OpenHashIndex",
     "RBTreeIndex",
     "Record",

@@ -1,8 +1,23 @@
-"""Shared context object and the Index interface.
+"""Shared/private context objects and the Index interface.
 
-:class:`SimContext` bundles the machine a run needs — address space,
-memory system, allocator, record store, and the slow-path hash — so the
-index structures take one constructor argument instead of five.
+The machine a run needs is split along the same line as the memory
+hierarchy (see :mod:`repro.mem.shared`):
+
+* :class:`SharedContext` — everything all cores see: the address space
+  (and its page table), the allocator, the record store, and the shared
+  memory levels (L3 + DRAM channel).  The kernel-side STLT/IPB and the
+  software SLB are also logically shared; they are wired up by the
+  engine because they depend on the chosen front-end.
+* :class:`CoreContext` — one core's private half: its
+  :class:`~repro.mem.hierarchy.MemorySystem` (L1/L2, TLBs, STB hook,
+  prefetchers) with its own cycle clock, statistics, and attribution.
+
+:class:`SimContext` remains the facade the index structures, the
+front-ends, and :class:`~repro.kvs.redis_model.RedisModel` consume — it
+bundles one *bound* core view (``ctx.mem`` is the active core's memory
+system) over the shared resources, so all existing single-core code runs
+unmodified.  The multi-core engine switches the active core with
+:meth:`SimContext.bind_core` before executing each operation.
 
 :class:`Index` is the abstract interface of the four Table II structures.
 All of them share the same semantic the paper requires of an
@@ -15,14 +30,15 @@ before measurement; ``insert``/``remove`` are the timed mutation paths.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
 
 from ..errors import KVSError
 from ..hashes.registry import HashSpec, get_hash
 from ..mem.address_space import AddressSpace
 from ..mem.allocator import BumpAllocator
 from ..mem.hierarchy import MemorySystem
+from ..mem.shared import SharedMemory
 from ..params import DEFAULT_MACHINE, MachineParams
 from .records import Record, RecordStore
 
@@ -31,33 +47,123 @@ KEY_COMPARE_CYCLES = 6
 
 
 @dataclass
+class CoreContext:
+    """One core's private half of the machine."""
+
+    core_id: int
+    mem: MemorySystem
+
+
+@dataclass
+class SharedContext:
+    """Resources every core sees: one address space, one record store,
+    one allocator, and the shared memory levels (L3 + DRAM channel)."""
+
+    space: AddressSpace
+    alloc: BumpAllocator
+    records: RecordStore
+    shared_mem: SharedMemory
+    machine: MachineParams
+    slow_hash: HashSpec
+
+
+@dataclass
 class SimContext:
-    """Everything an index structure needs to exist and be timed."""
+    """Everything an index structure needs to exist and be timed.
+
+    ``mem`` and ``records.mem`` always point at the *active* core's
+    memory system; single-core contexts never rebind, so they behave
+    exactly like the pre-split monolithic context.
+    """
 
     space: AddressSpace
     mem: MemorySystem
     alloc: BumpAllocator
     records: RecordStore
     slow_hash: HashSpec
+    #: shared half of the split (None only for hand-built legacy contexts)
+    shared: Optional[SharedContext] = None
+    #: the per-core private halves; empty for hand-built legacy contexts
+    cores: List[CoreContext] = field(default_factory=list)
+    #: index into ``cores`` of the currently bound core
+    active_core: int = 0
 
     @classmethod
     def create(
         cls,
         machine: MachineParams = DEFAULT_MACHINE,
         slow_hash: str = "siphash",
+        num_cores: int = 1,
+        mem_kwargs_fn: Optional[Callable[[int], dict]] = None,
         **mem_kwargs,
     ) -> "SimContext":
+        """Build a context of ``num_cores`` private cores over one shared
+        resource set.
+
+        Per-core memory-system keyword arguments (prefetchers have
+        per-core state) come from ``mem_kwargs_fn(core_id)`` when given;
+        plain ``**mem_kwargs`` apply to every core and are only safe for
+        single-core contexts when they carry stateful objects.
+        """
+        if num_cores < 1:
+            raise KVSError("a context needs at least one core")
         space = AddressSpace()
-        mem = MemorySystem(space, machine, **mem_kwargs)
+        shared_mem = SharedMemory(machine)
+        cores: List[CoreContext] = []
+        for core_id in range(num_cores):
+            kwargs = (mem_kwargs_fn(core_id) if mem_kwargs_fn is not None
+                      else mem_kwargs)
+            mem = MemorySystem(space, machine, shared=shared_mem,
+                               core_id=core_id, **kwargs)
+            cores.append(CoreContext(core_id=core_id, mem=mem))
         alloc = BumpAllocator(space)
-        records = RecordStore(alloc=alloc, mem=mem)
-        return cls(
+        records = RecordStore(alloc=alloc, mem=cores[0].mem)
+        spec = get_hash(slow_hash)
+        shared = SharedContext(
             space=space,
-            mem=mem,
             alloc=alloc,
             records=records,
-            slow_hash=get_hash(slow_hash),
+            shared_mem=shared_mem,
+            machine=machine,
+            slow_hash=spec,
         )
+        return cls(
+            space=space,
+            mem=cores[0].mem,
+            alloc=alloc,
+            records=records,
+            slow_hash=spec,
+            shared=shared,
+            cores=cores,
+        )
+
+    # -- core binding -----------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores) if self.cores else 1
+
+    def bind_core(self, core_id: int) -> CoreContext:
+        """Make ``core_id`` the active core: subsequent timed work on
+        this context (index traversals, record accesses, hash charges)
+        advances that core's clock and counters."""
+        if not self.cores:
+            raise KVSError("this context was built without core contexts")
+        core = self.cores[core_id]
+        self.active_core = core_id
+        self.mem = core.mem
+        self.records.mem = core.mem
+        return core
+
+    def core_mem(self, core_id: int) -> MemorySystem:
+        """The private memory system of one core."""
+        if not self.cores:
+            if core_id == 0:
+                return self.mem
+            raise KVSError("this context was built without core contexts")
+        return self.cores[core_id].mem
+
+    # -- timed helpers ----------------------------------------------------
 
     def charge_hash(self, key: bytes) -> None:
         """Charge the slow-path hash cost for ``key``."""

@@ -13,7 +13,8 @@ from .cache import Cache
 from .dram import DRAM
 from .hierarchy import MemorySystem
 from .page_table import PageTable, PageTableWalker
-from .stats import MemoryStats
+from .shared import SharedMemory
+from .stats import MemoryStats, sum_stats
 from .tlb import TLB, TLBHierarchy
 from .types import AccessKind
 
@@ -27,6 +28,8 @@ __all__ = [
     "MemoryStats",
     "PageTable",
     "PageTableWalker",
+    "SharedMemory",
+    "sum_stats",
     "TLB",
     "TLBHierarchy",
 ]

@@ -25,6 +25,12 @@ class DRAM:
         self._channel_free_at = 0
         self.accesses = 0
         self.queue_cycles = 0
+        #: cycles the channel spent transferring lines (busy time); the
+        #: busy *fraction* is this over elapsed cycles and is the direct
+        #: observable of cross-core channel contention
+        self.busy_cycles = 0
+        #: worst queueing delay any single request has seen
+        self.max_queue_cycles = 0
 
     def access(self, now: int, is_prefetch: bool = False) -> int:
         """Perform one line transfer starting no earlier than cycle ``now``.
@@ -38,6 +44,9 @@ class DRAM:
         self._channel_free_at = start + self.service
         self.accesses += 1
         self.queue_cycles += queue
+        self.busy_cycles += self.service
+        if queue > self.max_queue_cycles:
+            self.max_queue_cycles = queue
         return queue + self.latency
 
     @property
@@ -47,6 +56,8 @@ class DRAM:
     def reset_stats(self) -> None:
         self.accesses = 0
         self.queue_cycles = 0
+        self.busy_cycles = 0
+        self.max_queue_cycles = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DRAM(latency={self.latency}cy, service={self.service}cy)"

@@ -1,7 +1,16 @@
 """The memory system: TLBs -> (STB) -> page walk; L1 -> L2 -> L3 -> DRAM.
 
-This is the timing heart of the simulator.  Every simulated memory access
-of the key-value store flows through :meth:`MemorySystem.access`:
+This is the timing heart of the simulator.  A :class:`MemorySystem` is
+the *per-core private* half of the machine — L1/L2 caches, L1/L2 TLBs,
+the STB hook, the prefetchers, the page-table walker, and the core's own
+cycle clock, statistics, and cycle attribution.  The levels every core
+shares (L3, the DRAM channel, the L3 prefetch-tracking set) live in a
+:class:`~repro.mem.shared.SharedMemory` injected at construction; a
+system built without one owns a private instance, which makes the
+single-core machine identical to the pre-split monolith.
+
+Every simulated memory access of the key-value store flows through
+:meth:`MemorySystem.access`:
 
 1. The virtual page number is translated by the L1 D-TLB, then the L2
    shared TLB.  On an L2 miss, if a system translation buffer (STB) has
@@ -35,9 +44,9 @@ from ..params import (
 )
 from .address_space import AddressSpace
 from .cache import Cache
-from .dram import DRAM
 from .page_table import PageTableWalker
 from .prefetch import DistanceTLBPrefetcher, StreamPrefetcher, VLDPPrefetcher
+from .shared import SharedMemory
 from .stats import MemoryStats
 from .tlb import TLB, TLBHierarchy
 from .types import AccessKind, AccessResult
@@ -47,7 +56,12 @@ assert (1 << _LINE_SHIFT) == CACHE_LINE_BYTES
 
 
 class MemorySystem:
-    """Timing model of the machine in Table III."""
+    """Timing model of one core's private slice of the Table III machine.
+
+    ``shared`` carries the levels all cores see (L3 + DRAM channel);
+    when omitted, the system owns a private :class:`SharedMemory` and
+    behaves exactly like the pre-split single-core machine.
+    """
 
     def __init__(
         self,
@@ -56,14 +70,23 @@ class MemorySystem:
         stream_prefetcher: Optional[StreamPrefetcher] = None,
         vldp_prefetcher: Optional[VLDPPrefetcher] = None,
         tlb_prefetcher: Optional[DistanceTLBPrefetcher] = None,
+        shared: Optional[SharedMemory] = None,
+        core_id: int = 0,
     ) -> None:
         machine.validate()
         self.space = space
         self.machine = machine
+        self.core_id = core_id
+        # private levels
         self.l1 = Cache(machine.l1d)
         self.l2 = Cache(machine.l2)
-        self.l3 = Cache(machine.l3)
-        self.dram = DRAM(machine.dram)
+        # shared levels (aliases into the SharedMemory so existing code
+        # reading mem.l3 / mem.dram keeps working on both halves)
+        if shared is None:
+            shared = SharedMemory(machine)
+        self.shared = shared
+        self.l3 = shared.l3
+        self.dram = shared.dram
         self.tlbs = TLBHierarchy(TLB(machine.dtlb), TLB(machine.stlb))
         self.walker = PageTableWalker(space.page_table, self._pte_cache_access)
         self.stats = MemoryStats()
@@ -76,7 +99,7 @@ class MemorySystem:
         self.stream_prefetcher = stream_prefetcher
         self.vldp_prefetcher = vldp_prefetcher
         self.tlb_prefetcher = tlb_prefetcher
-        self._prefetched_lines: Set[int] = set()
+        self._prefetched_lines: Set[int] = shared.prefetched_lines
         self._prefetched_vpns: Set[int] = set()
 
         #: cycle attribution by category, powering the Fig. 1 breakdown:
@@ -146,10 +169,16 @@ class MemorySystem:
             self.stats.l3_misses += 1
             if at < 0:
                 at = self.now
+            queued_before = self.dram.queue_cycles
             dram_latency = self.dram.access(at + cycles)
             cycles += dram_latency
-            self.stats.dram_accesses += 1
-            self.stats.dram_queue_cycles = self.dram.queue_cycles
+            stats = self.stats
+            stats.dram_accesses += 1
+            stats.dram_busy_cycles += self.dram.service
+            queued = self.dram.queue_cycles - queued_before
+            stats.dram_queue_cycles += queued
+            if queued > stats.dram_max_queue_cycles:
+                stats.dram_max_queue_cycles = queued
             self._insert_l3(line_addr)
         self.l2.insert(line_addr)
         self.l1.insert(line_addr)
@@ -177,8 +206,12 @@ class MemorySystem:
                 continue
             # prefetch occupies the DRAM channel from its issue time, but
             # its own latency is off the program's critical path
+            queued_before = self.dram.queue_cycles
             self.dram.access(at)
             self.stats.prefetches_issued += 1
+            self.stats.dram_busy_cycles += self.dram.service
+            self.stats.dram_queue_cycles += (
+                self.dram.queue_cycles - queued_before)
             self._insert_l3(pf_line)
             self._prefetched_lines.add(pf_line)
 

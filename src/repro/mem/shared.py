@@ -1,0 +1,52 @@
+"""Shared levels of the memory hierarchy.
+
+The paper's STLT is explicitly a *shared* kernel structure serving many
+cores; reproducing its scaling story needs a machine whose hierarchy is
+split the same way real CMPs are:
+
+* **private per core** — L1/L2 data caches, the L1 D-TLB and L2 S-TLB,
+  the STB, the prefetchers, and the per-core cycle clock and statistics
+  (:class:`~repro.mem.hierarchy.MemorySystem` models this half);
+* **shared between cores** — the L3, the single DRAM channel, and the
+  L3 prefetch-tracking metadata (:class:`SharedMemory`, this module),
+  plus the page table that already lives in the shared
+  :class:`~repro.mem.address_space.AddressSpace`.
+
+One :class:`SharedMemory` is created per machine and handed to every
+core's ``MemorySystem``.  A single-core system that builds its own
+private ``SharedMemory`` is cycle-identical to the pre-split monolith:
+the same objects service the same requests in the same order.
+
+Cross-core effects emerge naturally from the sharing: L3 occupancy is
+contended (one core's working set evicts another's lines), and DRAM
+channel queueing couples the cores' clocks — a request from core A
+issued while the channel serves core B queues behind it, which is how
+multi-client traffic degrades under-provisioned memory systems.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..params import DEFAULT_MACHINE, MachineParams
+from .cache import Cache
+from .dram import DRAM
+
+__all__ = ["SharedMemory"]
+
+
+class SharedMemory:
+    """The levels of the hierarchy all cores see: L3 + DRAM channel."""
+
+    def __init__(self, machine: MachineParams = DEFAULT_MACHINE) -> None:
+        machine.validate()
+        self.machine = machine
+        self.l3 = Cache(machine.l3)
+        self.dram = DRAM(machine.dram)
+        #: lines brought into the shared L3 by any core's prefetcher;
+        #: a demand hit from *any* core counts the prefetch as useful
+        self.prefetched_lines: Set[int] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SharedMemory(l3={self.l3!r}, dram={self.dram!r}, "
+                f"tracked_prefetches={len(self.prefetched_lines)})")

@@ -5,11 +5,26 @@ hot path (one increment per event) stays cheap in pure Python.  The
 :meth:`MemoryStats.snapshot` / :meth:`MemoryStats.delta` pair supports the
 paper's methodology of warming up on 80% of the accesses and measuring
 only the remainder.
+
+With the private/shared split of the hierarchy (one ``MemoryStats`` per
+core over shared L3/DRAM), per-core bundles aggregate with
+:func:`sum_stats`: counters add, gauge fields (currently only
+``dram_max_queue_cycles``) take the maximum.  ``sum_stats`` of per-core
+deltas equals the delta of ``sum_stats`` for every counter field — the
+aggregation property the multi-core engine relies on (and a property
+test enforces).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Iterable
+
+#: fields that are high-water marks, not event counters: they aggregate
+#: with ``max`` and their window delta is the current (run-lifetime)
+#: value — a high-water mark set during warm-up is still the worst delay
+#: any request of the run observed, so the measured window reports it
+GAUGE_MAX_FIELDS = frozenset({"dram_max_queue_cycles"})
 
 
 @dataclass
@@ -38,6 +53,11 @@ class MemoryStats:
 
     dram_accesses: int = 0
     dram_queue_cycles: int = 0
+    #: cycles the (shared) DRAM channel spent servicing this core's
+    #: transfers; ``dram_busy_fraction`` derives channel pressure from it
+    dram_busy_cycles: int = 0
+    #: worst queueing delay a single request of this core observed (gauge)
+    dram_max_queue_cycles: int = 0
 
     prefetches_issued: int = 0
     prefetches_useful: int = 0
@@ -53,13 +73,22 @@ class MemoryStats:
         )
 
     def delta(self, since: "MemoryStats") -> "MemoryStats":
-        """Return counters accumulated since ``since`` was snapshotted."""
-        return MemoryStats(
-            **{
-                f.name: getattr(self, f.name) - getattr(since, f.name)
-                for f in fields(MemoryStats)
-            }
-        )
+        """Return counters accumulated since ``since`` was snapshotted.
+
+        Counter fields subtract.  Gauge fields carry the current
+        (run-lifetime) high-water mark through unchanged: a maximum is
+        not differentiable, and the worst delay of the whole run is the
+        honest answer to "how bad did queueing get".
+        """
+        out = {}
+        for f in fields(MemoryStats):
+            cur = getattr(self, f.name)
+            prev = getattr(since, f.name)
+            if f.name in GAUGE_MAX_FIELDS:
+                out[f.name] = cur
+            else:
+                out[f.name] = cur - prev
+        return MemoryStats(**out)
 
     # -- derived ratios ------------------------------------------------
 
@@ -93,7 +122,37 @@ class MemoryStats:
             return 0.0
         return self.prefetches_useful / self.prefetches_issued
 
+    @property
+    def dram_busy_fraction(self) -> float:
+        """Fraction of elapsed cycles the DRAM channel was transferring
+        lines on this core's behalf (aggregate bundles: on any core's)."""
+        if not self.total_cycles:
+            return 0.0
+        return self.dram_busy_cycles / self.total_cycles
+
     def merge(self, other: "MemoryStats") -> None:
-        """Accumulate ``other`` into this bundle in place."""
+        """Accumulate ``other`` into this bundle in place.
+
+        Counter fields add; gauge fields keep the maximum.  This is the
+        in-place form of :func:`sum_stats`.
+        """
         for f in fields(MemoryStats):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if f.name in GAUGE_MAX_FIELDS:
+                setattr(self, f.name, mine if mine >= theirs else theirs)
+            else:
+                setattr(self, f.name, mine + theirs)
+
+
+def sum_stats(bundles: Iterable[MemoryStats]) -> MemoryStats:
+    """Aggregate many per-core bundles into one.
+
+    Counter fields add across cores; gauge fields take the maximum (the
+    worst queueing delay of the aggregate is the worst any core saw).
+    ``sum_stats([])`` is the zero bundle, the identity of :meth:`merge`.
+    """
+    total = MemoryStats()
+    for bundle in bundles:
+        total.merge(bundle)
+    return total

@@ -15,16 +15,25 @@ from .frontend import (
     SoftwareSTLTFrontend,
     make_frontend,
 )
-from .results import RunResult, reduction, speedup
+from .multicore import MultiCoreEngine, MultiCoreRunResult
+from .results import (
+    RunResult,
+    aggregate_run_results,
+    reduction,
+    speedup,
+)
 
 __all__ = [
     "BaselineFrontend",
     "Engine",
+    "MultiCoreEngine",
+    "MultiCoreRunResult",
     "RunConfig",
     "RunResult",
     "SLBFrontend",
     "STLTFrontend",
     "SoftwareSTLTFrontend",
+    "aggregate_run_results",
     "make_frontend",
     "reduction",
     "run_experiment",

@@ -44,8 +44,17 @@ class Breakdown:
 
 
 def run_breakdown(config: RunConfig) -> Breakdown:
-    """Run a config and normalise its cycle attribution."""
+    """Run a config and normalise its cycle attribution.
+
+    Multi-core aggregates sum attribution across cores but report the
+    wall clock (slowest core) as ``cycles``; shares therefore normalise
+    against the summed per-core cycles, so they stay fractions of the
+    machine's total executed cycles on any core count.
+    """
     result = run_experiment(config)
-    total = max(result.cycles, 1)
+    if result.cores:
+        total = max(sum(core["cycles"] for core in result.cores), 1)
+    else:
+        total = max(result.cycles, 1)
     shares = {k: v / total for k, v in result.attr.items() if v > 0}
     return Breakdown(shares=shares, result=result)

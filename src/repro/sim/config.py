@@ -58,6 +58,10 @@ class RunConfig:
     #: for the paper's 80 M-operation warm-up, which a scaled run cannot
     #: afford to replay (EXPERIMENTS.md, methodology)
     prefill: bool = True
+    #: simulated cores, each streaming its own workload against the
+    #: shared store; ``measure_ops`` counts *per core*, so the aggregate
+    #: measures num_cores x measure_ops operations
+    num_cores: int = 1
     seed: int = 1
     #: the ratio-preserving scaled machine (params.scaled_machine); pass
     #: params.DEFAULT_MACHINE for the literal Table III configuration
@@ -72,6 +76,8 @@ class RunConfig:
             raise ConfigError(f"unknown distribution {self.distribution!r}")
         if self.num_keys <= 0 or self.measure_ops <= 0:
             raise ConfigError("key and operation counts must be positive")
+        if self.num_cores < 1:
+            raise ConfigError("need at least one core")
         for name in self.prefetchers:
             if name not in ("stream", "vldp", "tlb_distance"):
                 raise ConfigError(f"unknown prefetcher {name!r}")
@@ -147,10 +153,13 @@ class RunConfig:
 
     @property
     def label(self) -> str:
-        return (
+        base = (
             f"{self.program}/{self.frontend}/{self.distribution}"
             f"-{self.value_size}B"
         )
+        if self.num_cores > 1:
+            return f"{base}x{self.num_cores}c"
+        return base
 
 
 def config_hash(config: RunConfig) -> str:

@@ -1,4 +1,4 @@
-"""The run engine: build a store, stream a workload, measure.
+"""The run engine: build a store, stream workloads, measure.
 
 Methodology mirrors Section IV-A: the store is populated with
 ``num_keys`` records, the operation stream warms up caches, TLBs and the
@@ -6,12 +6,21 @@ fast-path tables (80% of operations by default, like the paper), and the
 final window is measured.  Every GET's result is verified against the
 functional store, so a timing bug that corrupts an index fails loudly
 instead of skewing numbers.
+
+The engine builds one *shared* store (index, record store, fast-path
+tables, STLT/IPB) and ``num_cores`` per-core front-ends over it, each
+core owning its private L1/L2, TLBs, STB, prefetchers, and STU.  The
+actual operation interleaving lives in
+:class:`~repro.sim.multicore.MultiCoreEngine`; a single-core run through
+it is cycle-identical to the pre-split engine (a regression test pins
+this against golden numbers).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..core.ipb import IPB
 from ..core.os_interface import OSInterface
 from ..core.stlt import STLT
 from ..core.stu import STU
@@ -28,9 +37,8 @@ from ..mem.prefetch import (
 )
 from ..slb.slb import SLBCache
 from ..workloads.keys import key_bytes
-from ..workloads.ycsb import Operation, WorkloadSpec, generate_operations
 from .config import RunConfig
-from .frontend import make_frontend
+from .frontend import LookupFrontend, make_frontend
 from .results import RunResult
 
 
@@ -46,14 +54,16 @@ def _prefetcher_kwargs(names) -> Dict[str, object]:
 
 
 class Engine:
-    """Builds and runs one experiment."""
+    """Builds one shared store plus per-core front-ends and runs it."""
 
     def __init__(self, config: RunConfig) -> None:
         self.config = config
         self.ctx = SimContext.create(
             machine=config.machine,
             slow_hash=config.slow_hash,
-            **_prefetcher_kwargs(config.prefetchers),
+            num_cores=config.num_cores,
+            mem_kwargs_fn=lambda core_id: _prefetcher_kwargs(
+                config.prefetchers),
         )
         self.redis: Optional[RedisModel] = None
         if config.program == "redis":
@@ -66,10 +76,14 @@ class Engine:
         self.records: List[Record] = []
         self._populate()
 
-        self.stu: Optional[STU] = None
+        #: per-core STUs (stlt/stlt_va front-ends only; None otherwise)
+        self.stus: List[Optional[STU]] = [None] * config.num_cores
         self.osi: Optional[OSInterface] = None
         self.slb: Optional[SLBCache] = None
-        self.frontend = self._build_frontend()
+        self.frontends: List[LookupFrontend] = self._build_frontends()
+        #: compatibility aliases: core 0's view
+        self.frontend = self.frontends[0]
+        self.stu = self.stus[0]
         if config.prefill:
             self._prefill_fast_tables()
 
@@ -88,33 +102,53 @@ class Engine:
                 self.index.build_insert(key, record)
             self.records.append(record)
 
-    def _build_frontend(self):
+    def _build_frontends(self) -> List[LookupFrontend]:
+        """One front-end per core over the shared fast-path tables.
+
+        Shared: the STLT (+ IPB, via one :class:`OSInterface` spanning
+        every core's STU), the SLB tables, and the STLT-SW user-memory
+        table.  Private: each core's STU (STB, insertion buffer, SPTW)
+        and the front-end's hit counters.
+        """
         config = self.config
         kind = config.frontend
+        ctx = self.ctx
         fast_hash = get_hash(config.fast_hash)
         if kind == "baseline":
-            return make_frontend("baseline", self.ctx, self.index)
+            return [make_frontend("baseline", ctx, self.index)
+                    for _ in range(config.num_cores)]
         if kind == "slb":
             self.slb = SLBCache(
-                self.ctx.space, self.ctx.mem,
+                ctx.space, ctx.cores[0].mem,
                 num_entries=config.effective_slb_entries,
                 fast_hash=fast_hash,
             )
-            return make_frontend("slb", self.ctx, self.index, slb=self.slb)
+            return [make_frontend("slb", ctx, self.index, slb=self.slb)
+                    for _ in range(config.num_cores)]
         if kind in ("stlt", "stlt_va"):
-            self.stu = STU(self.ctx.mem, va_only=(kind == "stlt_va"))
-            self.osi = OSInterface(self.ctx.space, self.ctx.mem, self.stu)
+            shared_ipb = IPB()
+            self.stus = [
+                STU(core.mem, va_only=(kind == "stlt_va"), ipb=shared_ipb)
+                for core in ctx.cores
+            ]
+            self.osi = OSInterface(ctx.space, ctx.cores[0].mem, self.stus)
             self.osi.stlt_alloc(config.effective_stlt_rows,
                                 ways=config.stlt_ways)
-            return make_frontend(kind, self.ctx, self.index,
-                                 stu=self.stu, fast_hash=fast_hash)
+            return [
+                make_frontend(kind, ctx, self.index,
+                              stu=stu, fast_hash=fast_hash)
+                for stu in self.stus
+            ]
         if kind == "stlt_sw":
             rows = config.effective_stlt_rows
             table = STLT(rows, ways=config.stlt_ways)
-            table_va = self.ctx.space.alloc_region(rows * 16)
-            return make_frontend("stlt_sw", self.ctx, self.index,
-                                 table=table, table_va=table_va,
-                                 fast_hash=fast_hash)
+            table_va = ctx.space.alloc_region(rows * 16)
+            return [
+                make_frontend("stlt_sw", ctx, self.index,
+                              table=table, table_va=table_va,
+                              fast_hash=fast_hash)
+                for _ in range(config.num_cores)
+            ]
         raise KVSError(f"unhandled frontend {kind!r}")
 
     def _prefill_fast_tables(self) -> None:
@@ -126,7 +160,8 @@ class Engine:
         way that many operations eventually would.  The timed warm-up
         that follows still churns the tables (replacements, counters,
         conflicts), so measured miss rates reflect capacity and conflict
-        behaviour rather than cold-start artifacts.
+        behaviour rather than cold-start artifacts.  The tables are
+        shared, so one prefill serves every core.
         """
         config = self.config
         fast_hash = get_hash(config.fast_hash)
@@ -151,85 +186,54 @@ class Engine:
             table.reset_stats()
 
     # ------------------------------------------------------------------
-    # the run loop
+    # core binding
+    # ------------------------------------------------------------------
+
+    def bind_core(self, core_id: int) -> None:
+        """Route subsequent timed work to ``core_id``'s private levels."""
+        self.ctx.bind_core(core_id)
+        if self.slb is not None:
+            # the SLB tables are shared data; probes are timed against
+            # the core that issues them
+            self.slb.mem = self.ctx.mem
+
+    # ------------------------------------------------------------------
+    # the run loop (delegated to the multi-core interleaver)
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        config = self.config
-        spec = WorkloadSpec(distribution=config.distribution,
-                            value_size=config.value_size)
-        ops = generate_operations(spec, config.num_keys, config.total_ops,
-                                  seed=config.seed)
-        warmup = config.effective_warmup_ops
-        mem = self.ctx.mem
+        """Run the configured number of cores; single-core configs get
+        the per-core result (identical to the pre-split engine), multi-
+        core configs the aggregate with per-core payloads attached."""
+        from .multicore import MultiCoreEngine  # avoid an import cycle
 
-        snapshot = None
-        attr_snapshot: Dict[str, int] = {}
-        gets_at_mark = fast_hits_at_mark = 0
-        table_lookups_at_mark = table_hits_at_mark = 0
-        gets = sets = 0
-
-        for i, (op, key_id) in enumerate(ops):
-            if i == warmup:
-                snapshot = mem.stats.snapshot()
-                attr_snapshot = dict(mem.attr)
-                gets_at_mark = self.frontend.gets
-                fast_hits_at_mark = self.frontend.fast_hits
-                gets = sets = 0
-            if op is Operation.GET:
-                self._do_get(key_id)
-                gets += 1
-            else:
-                self._do_set(key_id, spec.value_size)
-                sets += 1
-
-        if snapshot is None:  # all ops were warm-up (measure window empty)
-            raise KVSError("no measured operations; check op counts")
-        delta = mem.stats.delta(snapshot)
-        attr = {
-            k: v - attr_snapshot.get(k, 0) for k, v in mem.attr.items()
-        }
-        measured_gets = self.frontend.gets - gets_at_mark
-        measured_hits = self.frontend.fast_hits - fast_hits_at_mark
-        fast_miss_rate = None
-        if config.frontend != "baseline" and measured_gets:
-            fast_miss_rate = 1.0 - measured_hits / measured_gets
-
-        return RunResult(
-            label=config.label,
-            frontend=config.frontend,
-            cycles=delta.total_cycles,
-            ops=gets + sets,
-            gets=gets,
-            sets=sets,
-            mem=delta,
-            attr=attr,
-            fast_miss_rate=fast_miss_rate,
-            fast_occupancy=self._fast_occupancy(),
-            fast_table_bytes=self._fast_table_bytes(),
-        )
+        outcome = MultiCoreEngine(self).run()
+        if self.config.num_cores == 1:
+            return outcome.per_core[0]
+        return outcome.aggregate
 
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
 
-    def _do_get(self, key_id: int) -> None:
+    def do_get(self, core_id: int, key_id: int) -> None:
         key = key_bytes(key_id)
+        frontend = self.frontends[core_id]
         if self.redis is not None:
             self.redis.begin_command()
-            record = self.frontend.get(key)
+            record = frontend.get(key)
             if record is None:
                 raise KVSError(f"GET lost key id {key_id}")
             self.ctx.records.access_value(record)
             self.redis.end_command(record.value_size)
             self.redis.gets += 1
         else:
-            record = self.frontend.get(key)
+            record = frontend.get(key)
             if record is None:
                 raise KVSError(f"GET lost key id {key_id}")
             self.ctx.records.access_value(record)
 
-    def _do_set(self, key_id: int, value_size: int) -> None:
+    def do_set(self, core_id: int, key_id: int, value_size: int) -> None:
         key = key_bytes(key_id)
         if self.redis is not None:
             self.redis.begin_command()
@@ -239,22 +243,43 @@ class Engine:
             record = self.ctx.records.create(key, value_size)
             self.index.insert(key, record)
         self.records.append(record)
-        self.frontend.on_insert(key, record)
+        self.frontends[core_id].on_insert(key, record)
+
+    # backwards-compatible single-core spellings
+    def _do_get(self, key_id: int) -> None:
+        self.do_get(self.ctx.active_core, key_id)
+
+    def _do_set(self, key_id: int, value_size: int) -> None:
+        self.do_set(self.ctx.active_core, key_id, value_size)
+
+    # ------------------------------------------------------------------
+    # coherence broadcast (Section III-F at machine scope)
+    # ------------------------------------------------------------------
+
+    def notify_record_moved(self, record: Record, old_va: int) -> None:
+        """Record-movement protocol over all cores.
+
+        The fast-path tables (STLT, SLB, STLT-SW) are shared, so one
+        refresh is globally visible; it is issued by the *active* core's
+        front-end so the protocol's cycles are charged where the resize
+        ran.  Every other core observes the update on its next probe —
+        stale VAs fail semantic validation everywhere.
+        """
+        self.frontends[self.ctx.active_core].on_record_moved(record, old_va)
 
     # ------------------------------------------------------------------
     # table introspection
     # ------------------------------------------------------------------
 
-    def _fast_occupancy(self) -> Optional[int]:
+    def fast_occupancy(self) -> Optional[int]:
         if self.stu is not None and self.stu.stlt is not None:
             return self.stu.stlt.occupancy
-        frontend = self.frontend
-        table = getattr(frontend, "table", None)
+        table = getattr(self.frontend, "table", None)
         if table is not None:
             return table.occupancy
         return None
 
-    def _fast_table_bytes(self) -> Optional[int]:
+    def fast_table_bytes(self) -> Optional[int]:
         if self.stu is not None and self.stu.stlt is not None:
             return self.stu.stlt.size_bytes
         if self.slb is not None:
@@ -263,6 +288,10 @@ class Engine:
         if table is not None:
             return table.size_bytes
         return None
+
+    # old private spellings, kept for external callers
+    _fast_occupancy = fast_occupancy
+    _fast_table_bytes = fast_table_bytes
 
 
 def run_experiment(config: RunConfig) -> RunResult:

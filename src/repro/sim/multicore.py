@@ -1,0 +1,165 @@
+"""Round-robin multi-core interleaver over one shared store.
+
+``MultiCoreEngine`` drives N independent YCSB streams — one per core —
+against a single :class:`~repro.sim.engine.Engine` (shared index, record
+store, STLT/IPB, SLB, L3, DRAM channel; private L1/L2, TLBs, STB,
+prefetchers).  The interleave is one operation per core per step, so at
+every point of the run all cores have executed the same number of
+operations and their DRAM/L3 traffic genuinely contends.
+
+Each core streams its own workload: the chooser is seeded with
+``config.seed + core_id`` so the streams are independent draws of the
+same distribution, and fresh keys (latest-distribution SETs) live in
+disjoint strided namespaces (core *i* of *N* inserts ids
+``num_keys + i, num_keys + i + N, ...``) so clients never collide on a
+new key.  ``measure_ops`` and the warm-up count *per core*.
+
+A single-core run through this loop is cycle-identical to the
+pre-split engine: core 0's stream is seeded with ``config.seed``, the
+fresh-key namespace is the identity mapping, and the per-core mark /
+delta bookkeeping is verbatim the old single-stream loop (a regression
+test pins this against golden numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import KVSError
+from ..workloads.ycsb import Operation, WorkloadSpec, generate_operations
+from .results import RunResult, aggregate_run_results
+
+
+@dataclass
+class MultiCoreRunResult:
+    """Outcome of one interleaved epoch: per-core windows + the fold."""
+
+    per_core: List[RunResult]
+    aggregate: RunResult
+
+
+class _CoreRunState:
+    """One core's measured-window bookkeeping (the old engine's locals).
+
+    ``mark()`` is called when the core crosses its warm-up boundary —
+    before executing that operation, exactly like the pre-split loop —
+    and snapshots the core's memory statistics, cycle attribution, and
+    front-end hit counters.  ``finish()`` turns the deltas into the
+    core's :class:`RunResult`.
+    """
+
+    def __init__(self, engine, core_id: int) -> None:
+        self.engine = engine
+        self.core_id = core_id
+        self.mem = engine.ctx.core_mem(core_id)
+        self.frontend = engine.frontends[core_id]
+        self.snapshot = None
+        self.attr_snapshot: Dict[str, int] = {}
+        self.gets_at_mark = 0
+        self.fast_hits_at_mark = 0
+        self.gets = 0
+        self.sets = 0
+
+    def mark(self) -> None:
+        self.snapshot = self.mem.stats.snapshot()
+        self.attr_snapshot = dict(self.mem.attr)
+        self.gets_at_mark = self.frontend.gets
+        self.fast_hits_at_mark = self.frontend.fast_hits
+        self.gets = self.sets = 0
+
+    def finish(self, num_cores: int) -> RunResult:
+        if self.snapshot is None:  # measure window empty
+            raise KVSError("no measured operations; check op counts")
+        config = self.engine.config
+        delta = self.mem.stats.delta(self.snapshot)
+        attr = {
+            k: v - self.attr_snapshot.get(k, 0)
+            for k, v in self.mem.attr.items()
+        }
+        measured_gets = self.frontend.gets - self.gets_at_mark
+        measured_hits = self.frontend.fast_hits - self.fast_hits_at_mark
+        fast_miss_rate = None
+        if config.frontend != "baseline" and measured_gets:
+            fast_miss_rate = 1.0 - measured_hits / measured_gets
+        if num_cores == 1:
+            label: str = config.label
+            core_id: Optional[int] = None
+        else:
+            label = f"{config.label}[core{self.core_id}]"
+            core_id = self.core_id
+        return RunResult(
+            label=label,
+            frontend=config.frontend,
+            cycles=delta.total_cycles,
+            ops=self.gets + self.sets,
+            gets=self.gets,
+            sets=self.sets,
+            mem=delta,
+            attr=attr,
+            fast_miss_rate=fast_miss_rate,
+            fast_occupancy=self.engine.fast_occupancy(),
+            fast_table_bytes=self.engine.fast_table_bytes(),
+            core_id=core_id,
+        )
+
+
+class MultiCoreEngine:
+    """Interleaves per-core operation streams over a shared engine."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.config = engine.config
+
+    def _streams(self, spec: WorkloadSpec) -> List[List]:
+        """Materialise each core's operation stream up front.
+
+        The generators mutate their choosers as they yield, so streaming
+        them lazily in lockstep would still be correct — but a SET's
+        fresh key must exist before any core GETs it, and materialising
+        keeps the interleave loop free of generator bookkeeping.  At
+        simulation scale (tens of thousands of ops) the lists are cheap.
+        """
+        config = self.config
+        n = config.num_cores
+        return [
+            list(generate_operations(
+                spec, config.num_keys, config.total_ops,
+                seed=config.seed + core_id,
+                first_new_id=config.num_keys + core_id,
+                new_id_stride=n,
+            ))
+            for core_id in range(n)
+        ]
+
+    def run(self) -> MultiCoreRunResult:
+        config = self.config
+        engine = self.engine
+        spec = WorkloadSpec(distribution=config.distribution,
+                            value_size=config.value_size)
+        streams = self._streams(spec)
+        warmup = config.effective_warmup_ops
+        n = config.num_cores
+        states = [_CoreRunState(engine, core_id) for core_id in range(n)]
+
+        for i in range(config.total_ops):
+            for core_id in range(n):
+                engine.bind_core(core_id)
+                state = states[core_id]
+                if i == warmup:
+                    state.mark()
+                op, key_id = streams[core_id][i]
+                if op is Operation.GET:
+                    engine.do_get(core_id, key_id)
+                    state.gets += 1
+                else:
+                    engine.do_set(core_id, key_id, spec.value_size)
+                    state.sets += 1
+
+        per_core = [state.finish(n) for state in states]
+        if n == 1:
+            return MultiCoreRunResult(per_core=per_core,
+                                      aggregate=per_core[0])
+        aggregate = aggregate_run_results(per_core, label=config.label,
+                                          frontend=config.frontend)
+        return MultiCoreRunResult(per_core=per_core, aggregate=aggregate)

@@ -4,6 +4,14 @@ A :class:`RunResult` carries the measured-window statistics of one run.
 Speedups are ratios of cycles per operation against a baseline run, and
 "reductions" (TLB misses, cache misses) are relative count decreases —
 the metrics of Figs. 11-19.
+
+Multi-core runs produce one per-core :class:`RunResult` (``core_id``
+set) plus an aggregate built by :func:`aggregate_run_results`: memory
+counters sum via :func:`repro.mem.stats.sum_stats`, the aggregate
+``cycles`` is the wall clock of the interleaved epoch (the slowest
+core), ``ops`` is the total across cores, and the per-core payloads ride
+along in ``cores`` so throughput (ops/cycle) and Jain fairness are
+derivable from one stored record.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ReproError
-from ..mem.stats import MemoryStats
+from ..mem.stats import MemoryStats, sum_stats
 
 
 @dataclass
@@ -34,10 +42,45 @@ class RunResult:
     fast_occupancy: Optional[int] = None
     #: bytes of the fast-path table(s)
     fast_table_bytes: Optional[int] = None
+    #: which core measured this result (None: single-core or aggregate)
+    core_id: Optional[int] = None
+    #: aggregate results only: the per-core result dicts
+    cores: Optional[List[dict]] = None
 
     @property
     def cycles_per_op(self) -> float:
         return self.cycles / self.ops if self.ops else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Operations per cycle; for aggregates, total ops over the
+        wall clock of the slowest core — the scaling metric."""
+        return self.ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores) if self.cores else 1
+
+    @property
+    def fairness(self) -> Optional[float]:
+        """Jain's fairness index over per-core throughput (1.0 = all
+        cores made equal progress); None for single-core results."""
+        if not self.cores:
+            return None
+        rates = [c["ops"] / c["cycles"] for c in self.cores if c["cycles"]]
+        if not rates:
+            return None
+        total = sum(rates)
+        square_sum = sum(r * r for r in rates)
+        if not square_sum:
+            return None
+        return (total * total) / (len(rates) * square_sum)
+
+    def per_core_results(self) -> List["RunResult"]:
+        """Re-hydrate the per-core results of an aggregate (or [self])."""
+        if not self.cores:
+            return [self]
+        return [RunResult.from_dict(c) for c in self.cores]
 
     @property
     def tlb_misses(self) -> int:
@@ -81,6 +124,52 @@ class RunResult:
         if isinstance(kwargs.get("mem"), dict):
             kwargs["mem"] = MemoryStats(**kwargs["mem"])
         return cls(**kwargs)
+
+
+def aggregate_run_results(per_core: Sequence[RunResult],
+                          label: str, frontend: str) -> RunResult:
+    """Fold per-core measured windows into one aggregate result.
+
+    * ``cycles`` — the wall clock of the interleaved epoch: the slowest
+      core's measured cycles (cores run concurrently, so their cycle
+      counts overlap rather than add);
+    * ``ops``/``gets``/``sets`` — totals across cores (throughput is
+      therefore ``ops / cycles``, ops per wall-clock cycle);
+    * ``mem`` — :func:`~repro.mem.stats.sum_stats` of the per-core
+      bundles (counters add, gauges take the max);
+    * ``attr`` — per-category cycle attribution summed across cores;
+    * ``fast_miss_rate`` — hit-weighted across cores (the shared table's
+      global miss rate, not the mean of per-core rates);
+    * ``cores`` — the per-core result dicts, so per-core shared-STLT hit
+      rates and fairness survive serialisation.
+    """
+    if not per_core:
+        raise ReproError("cannot aggregate zero per-core results")
+    attr: Dict[str, int] = {}
+    for result in per_core:
+        for category, cycles in result.attr.items():
+            attr[category] = attr.get(category, 0) + cycles
+    total_gets = sum(r.gets for r in per_core)
+    fast_miss_rate = None
+    rates = [(r.fast_miss_rate, r.gets) for r in per_core
+             if r.fast_miss_rate is not None]
+    if rates and total_gets:
+        missed = sum(rate * gets for rate, gets in rates)
+        fast_miss_rate = missed / total_gets
+    return RunResult(
+        label=label,
+        frontend=frontend,
+        cycles=max(r.cycles for r in per_core),
+        ops=sum(r.ops for r in per_core),
+        gets=total_gets,
+        sets=sum(r.sets for r in per_core),
+        mem=sum_stats(r.mem for r in per_core),
+        attr=attr,
+        fast_miss_rate=fast_miss_rate,
+        fast_occupancy=per_core[0].fast_occupancy,
+        fast_table_bytes=per_core[0].fast_table_bytes,
+        cores=[r.to_dict() for r in per_core],
+    )
 
 
 def speedup(baseline: RunResult, other: RunResult) -> float:

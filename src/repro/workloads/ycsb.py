@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 from ..errors import ConfigError
 from .distributions import make_chooser
@@ -51,22 +51,43 @@ def generate_operations(
     num_keys: int,
     num_ops: int,
     seed: int = 1,
+    first_new_id: Optional[int] = None,
+    new_id_stride: int = 1,
 ) -> Iterator[Tuple[Operation, int]]:
     """Yield ``(operation, key_id)`` pairs.
 
-    SET operations carry a *new* key id (== current keyspace size); the
-    consumer must create the record, and the chooser is notified so later
-    GETs can draw the fresh key.
+    SET operations carry a *new* key id (by default the current keyspace
+    size); the consumer must create the record, and the chooser is
+    notified so later GETs can draw the fresh key.
+
+    On a multi-core machine each core streams its own workload against
+    the shared store; ``first_new_id``/``new_id_stride`` give each stream
+    a disjoint namespace of fresh key ids (core *i* of *N* uses
+    ``num_keys + i, num_keys + i + N, ...``) so concurrent clients never
+    collide on a newly inserted key.  The defaults reproduce the
+    single-stream behaviour exactly.
     """
     if num_ops < 0:
         raise ConfigError("operation count cannot be negative")
+    if new_id_stride < 1:
+        raise ConfigError("new-key id stride must be positive")
     chooser = make_chooser(spec.distribution, num_keys, seed=seed)
     op_rng = random.Random(seed ^ 0x5EED)
-    next_new_id = num_keys
+    base_new_id = num_keys if first_new_id is None else first_new_id
+
+    # The chooser works over *dense* logical ids [0, n); fresh keys map
+    # to the stream's (possibly strided) external namespace.  With the
+    # default namespace the mapping is the identity.
+    def external_id(logical_id: int) -> int:
+        if logical_id < num_keys:
+            return logical_id
+        return base_new_id + (logical_id - num_keys) * new_id_stride
+
+    next_logical_id = num_keys
     for _ in range(num_ops):
         if spec.set_fraction and op_rng.random() < spec.set_fraction:
-            yield Operation.SET, next_new_id
-            chooser.observe_insert(next_new_id)
-            next_new_id += 1
+            yield Operation.SET, external_id(next_logical_id)
+            chooser.observe_insert(next_logical_id)
+            next_logical_id += 1
         else:
-            yield Operation.GET, chooser.choose()
+            yield Operation.GET, external_id(chooser.choose())

@@ -135,3 +135,63 @@ class TestContextSwitch:
         osi.context_switch_in()
         # protection is restored: the stale row is still filtered
         assert stu.load_va(0x2222).missed
+
+
+class TestMultiCoreBroadcast:
+    """One kernel OSInterface over several cores' STUs (PR 2)."""
+
+    @pytest.fixture
+    def multi_rig(self, space):
+        from repro.core.ipb import IPB
+        from repro.mem.shared import SharedMemory
+
+        shared_mem = SharedMemory(DEFAULT_MACHINE)
+        mems = [MemorySystem(space, DEFAULT_MACHINE, shared=shared_mem,
+                             core_id=i) for i in range(3)]
+        ipb = IPB()
+        stus = [STU(mem, ipb=ipb) for mem in mems]
+        osi = OSInterface(space, mems[0], stus)
+        return space, stus, osi
+
+    def test_alloc_loads_crs_on_every_core(self, multi_rig):
+        _, stus, osi = multi_rig
+        stlt = osi.stlt_alloc(1 << 8)
+        for stu in stus:
+            assert stu.crs.enabled
+            assert stu.stlt is stlt
+
+    def test_free_clears_crs_on_every_core(self, multi_rig):
+        _, stus, osi = multi_rig
+        osi.stlt_alloc(1 << 8)
+        osi.stlt_free()
+        for stu in stus:
+            assert not stu.crs.enabled
+
+    def test_invalidation_scrubs_every_cores_stb(self, multi_rig):
+        from repro.core.row import make_pte
+
+        space, stus, osi = multi_rig
+        osi.stlt_alloc(1 << 8)
+        va = space.alloc_region(4096)
+        vpn = va >> 12
+        for stu in stus:
+            stu.stb.insert(vpn, make_pte(0x7))
+        space.unmap_page(va)
+        for stu in stus:
+            assert stu.stb.probe(vpn) is None
+
+    def test_stus_share_one_ipb(self, multi_rig):
+        space, stus, osi = multi_rig
+        osi.stlt_alloc(1 << 8)
+        va = space.alloc_region(4096)
+        space.unmap_page(va)
+        seen = {id(stu.ipb) for stu in stus}
+        assert len(seen) == 1
+        assert stus[0].ipb.contains(va >> 12)
+
+    def test_single_stu_keeps_legacy_behaviour(self, space):
+        mem = MemorySystem(space, DEFAULT_MACHINE)
+        stu = STU(mem)
+        osi = OSInterface(space, mem, stu)
+        assert osi.stus == [stu]
+        assert osi.stu is stu

@@ -16,6 +16,9 @@ EXPECTED_METRIC_KEYS = {
     "page_walks", "dram_accesses", "llc_miss_rate", "fast_miss_rate",
     "fast_table_bytes", "stb_hits", "attr", "prefetches_issued",
     "prefetch_accuracy",
+    # multi-core / DRAM observability (PR 2)
+    "num_cores", "throughput", "fairness",
+    "dram_busy_fraction", "dram_max_queue_cycles",
 }
 
 

@@ -39,3 +39,29 @@ class TestLatency:
         assert dram.accesses == 5
         dram.reset_stats()
         assert dram.accesses == 0
+
+
+class TestChannelObservability:
+    def test_busy_cycles_accumulate_per_transfer(self):
+        dram = DRAM(DRAMParams(service_cycles=24))
+        for _ in range(3):
+            dram.access(now=10_000 * _)  # spaced: no queueing
+        assert dram.busy_cycles == 3 * 24
+        assert dram.queue_cycles == 0
+
+    def test_max_queue_tracks_worst_single_request(self):
+        dram = DRAM(DRAMParams(service_cycles=10))
+        dram.access(now=0)    # queues: 0
+        dram.access(now=0)    # queues: 10
+        dram.access(now=0)    # queues: 20 (worst)
+        dram.access(now=100)  # channel idle again: queues 0
+        assert dram.max_queue_cycles == 20
+        assert dram.queue_cycles == 30
+
+    def test_reset_clears_observability_counters(self):
+        dram = DRAM(DRAMParams(service_cycles=10))
+        dram.access(now=0)
+        dram.access(now=0)
+        dram.reset_stats()
+        assert dram.busy_cycles == 0
+        assert dram.max_queue_cycles == 0

@@ -1,0 +1,72 @@
+"""The private/shared split of the hierarchy (PR 2)."""
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.hierarchy import MemorySystem
+from repro.mem.shared import SharedMemory
+from repro.params import SCALED_MACHINE
+
+
+def _two_cores():
+    space = AddressSpace()
+    shared = SharedMemory(SCALED_MACHINE)
+    mems = [MemorySystem(space, SCALED_MACHINE, shared=shared, core_id=i)
+            for i in range(2)]
+    return space, shared, mems
+
+
+class TestSharedLevels:
+    def test_cores_alias_one_l3_and_dram(self):
+        _, shared, (a, b) = _two_cores()
+        assert a.l3 is b.l3 is shared.l3
+        assert a.dram is b.dram is shared.dram
+        assert a.shared is b.shared is shared
+
+    def test_private_levels_are_private(self):
+        _, _, (a, b) = _two_cores()
+        assert a.l1 is not b.l1
+        assert a.l2 is not b.l2
+        assert a.tlbs is not b.tlbs
+        assert a.stats is not b.stats
+
+    def test_default_build_makes_private_shared_half(self):
+        space = AddressSpace()
+        a = MemorySystem(space, SCALED_MACHINE)
+        b = MemorySystem(space, SCALED_MACHINE)
+        assert a.l3 is not b.l3
+        assert a.dram is not b.dram
+
+    def test_one_cores_miss_warms_the_other_cores_l3(self):
+        space, _, (a, b) = _two_cores()
+        va = space.alloc_region(4096)
+        # core A misses everywhere and fills the shared L3 (line and
+        # page-walk PTE reads alike) ...
+        a.access(va, 8)
+        before = b.stats.snapshot()
+        # ... so core B's private misses stop at L3 instead of DRAM
+        b.access(va, 8)
+        delta = b.stats.delta(before)
+        assert delta.l3_hits >= 1
+        assert delta.dram_accesses == 0
+
+    def test_dram_queueing_couples_the_cores(self):
+        space, shared, (a, b) = _two_cores()
+        va_a = space.alloc_region(4096)
+        va_b = space.alloc_region(1 << 20)
+        a.access(va_a, 8)
+        a_max = a.stats.dram_max_queue_cycles  # A only self-queues
+        # B misses a *different* page at its own clock ~0: its demand
+        # request queues behind the channel reservations A left behind
+        b.access(va_b + 3 * 4096, 8)
+        assert b.stats.dram_queue_cycles > 0
+        assert b.stats.dram_max_queue_cycles > a_max
+        assert shared.dram.max_queue_cycles == max(
+            a_max, b.stats.dram_max_queue_cycles)
+
+    def test_busy_cycles_split_per_requesting_core(self):
+        space, shared, (a, b) = _two_cores()
+        a.access(space.alloc_region(4096), 8)
+        b.access(space.alloc_region(4096), 8)
+        total = a.stats.dram_busy_cycles + b.stats.dram_busy_cycles
+        assert total == shared.dram.busy_cycles
+        assert a.stats.dram_busy_cycles > 0
+        assert b.stats.dram_busy_cycles > 0

@@ -151,3 +151,47 @@ class TestOperationStream:
         a = list(generate_operations(spec, 100, 300, seed=9))
         b = list(generate_operations(spec, 100, 300, seed=9))
         assert a == b
+
+
+class TestStridedStreams:
+    """Per-core fresh-key namespaces (multi-core engine, PR 2)."""
+
+    def _fresh_ids(self, core_id, num_cores, seed=7):
+        spec = WorkloadSpec(distribution="latest")
+        ops = generate_operations(
+            spec, 100, 400, seed=seed,
+            first_new_id=100 + core_id, new_id_stride=num_cores)
+        return [key_id for op, key_id in ops if op is Operation.SET]
+
+    def test_default_namespace_is_identity(self):
+        spec = WorkloadSpec(distribution="latest")
+        explicit = list(generate_operations(
+            spec, 100, 400, seed=3, first_new_id=100, new_id_stride=1))
+        implicit = list(generate_operations(spec, 100, 400, seed=3))
+        assert explicit == implicit
+
+    def test_cores_never_collide_on_fresh_keys(self):
+        num_cores = 4
+        all_ids = []
+        for core_id in range(num_cores):
+            ids = self._fresh_ids(core_id, num_cores, seed=7 + core_id)
+            assert all(i >= 100 for i in ids)
+            assert all((i - 100) % num_cores == core_id for i in ids)
+            all_ids.extend(ids)
+        assert len(all_ids) == len(set(all_ids))
+
+    def test_strided_gets_stay_inside_the_streams_namespace(self):
+        spec = WorkloadSpec(distribution="latest")
+        ops = list(generate_operations(
+            spec, 50, 600, seed=11, first_new_id=51, new_id_stride=3))
+        fresh = {k for op, k in ops if op is Operation.SET}
+        for op, key_id in ops:
+            if op is Operation.GET and key_id >= 50:
+                # a GET of a fresh key must target a key this stream
+                # actually inserted, never a sibling stream's
+                assert key_id in fresh
+
+    def test_stride_must_be_positive(self):
+        spec = WorkloadSpec(distribution="latest")
+        with pytest.raises(ConfigError):
+            list(generate_operations(spec, 10, 5, new_id_stride=0))
