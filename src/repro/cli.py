@@ -1,28 +1,34 @@
 """Command-line interface: ``python -m repro ...``.
 
-Four subcommands:
+Five subcommands:
 
 ``run``       simulate one configuration and print its metrics
               (optionally against a baseline run for speedups);
+``serve``     open-loop service simulation: requests arrive on their
+              own clock (Poisson or bursty MMPP), queue on the cores,
+              and report tail latency (p50/p95/p99/p99.9), offered vs
+              achieved throughput, and per-core queue depths;
 ``breakdown`` print the Fig. 1-style cycle breakdown of a configuration;
 ``hwcost``    print the Table I on-chip cost accounting;
 ``sweep``     run a whole campaign (named sweep or JSON spec file) in
               parallel through :mod:`repro.exp`, with a durable result
               store, per-run retry/timeout, and progress/ETA output.
 
-``run`` and ``breakdown`` accept ``--json`` and then emit the same
-machine-readable record the sweep store writes (config + result keyed
-by the config content hash), so single runs and campaigns feed the same
-tooling.
+``run``, ``serve``, and ``breakdown`` accept ``--json`` and then emit
+the same machine-readable record the sweep store writes (config +
+result keyed by the config content hash), so single runs and campaigns
+feed the same tooling.
 
 Examples::
 
     python -m repro run --program redis --frontend stlt --keys 30000
     python -m repro run --program btree --frontend stlt --compare-baseline
     python -m repro run --json --keys 5000 --ops 1000
+    python -m repro serve --frontend stlt --cores 4 --load 0.7 --json
+    python -m repro serve --arrival mmpp --dispatch jsq --load 0.9
     python -m repro breakdown --program redis
     python -m repro sweep smoke --jobs 2
-    python -m repro sweep size --jobs 8 --store results.jsonl
+    python -m repro sweep load --jobs 4 --store results.jsonl
     python -m repro sweep --spec campaign.json --fresh --json
     python -m repro hwcost
 """
@@ -43,13 +49,20 @@ from .exp import (
     SweepSpec,
     builtin_sweeps,
     get_sweep,
+    latency_table,
     make_record,
     scaling_table,
     speedup_table,
     summary_table,
 )
 from .sim.breakdown import run_breakdown
-from .sim.config import DISTRIBUTIONS, FRONTENDS, PROGRAMS, RunConfig
+from .sim.config import (
+    DISPATCH_POLICIES,
+    DISTRIBUTIONS,
+    FRONTENDS,
+    PROGRAMS,
+    RunConfig,
+)
 from .sim.engine import run_experiment
 from .sim.results import RunResult, speedup
 
@@ -95,6 +108,11 @@ def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
         prefetchers=tuple(args.prefetchers),
         prefill=not args.no_prefill,
         num_cores=args.cores,
+        # open-loop service knobs, present only on the serve parser
+        arrival_process=getattr(args, "arrival", "closed"),
+        offered_load=getattr(args, "load", 0.7),
+        dispatch_policy=getattr(args, "dispatch", "round_robin"),
+        service_requests=getattr(args, "requests", None),
         seed=args.seed,
     )
 
@@ -146,6 +164,42 @@ def cmd_run(args: argparse.Namespace) -> int:
         baseline = run_experiment(_config_from_args(args, "baseline"))
         print(f"baseline      : {baseline.cycles_per_op:.1f} cycles/op")
         print(f"speedup       : {speedup(baseline, result):.2f}x")
+    return 0
+
+
+def _print_service(result: RunResult) -> None:
+    service = result.service or {}
+    latency = service.get("latency", {})
+    print(f"configuration : {result.label}")
+    print(f"closed loop   : {result.cycles_per_op:.1f} cycles/op, "
+          f"{result.throughput:.5f} ops/cycle capacity")
+    print(f"traffic       : {service.get('process')} arrivals, "
+          f"{service.get('dispatch')} dispatch, "
+          f"{service.get('requests')} requests")
+    print(f"offered       : {service.get('arrival_rate', 0.0):.5f} "
+          f"ops/cycle (load {service.get('offered_load', 0.0):.2f})")
+    print(f"achieved      : "
+          f"{service.get('achieved_throughput', 0.0):.5f} ops/cycle")
+    print(f"latency p50   : {latency.get('p50', 0.0):.0f} cycles")
+    print(f"latency p95   : {latency.get('p95', 0.0):.0f} cycles")
+    print(f"latency p99   : {latency.get('p99', 0.0):.0f} cycles")
+    print(f"latency p99.9 : {latency.get('p999', 0.0):.0f} cycles")
+    print(f"mean latency  : {service.get('mean_latency', 0.0):.1f} cycles "
+          f"({service.get('mean_queue_delay', 0.0):.1f} queueing)")
+    for core in service.get("per_core", []):
+        print(f"  core {core['core']}: {core['requests']} reqs, "
+              f"busy {core['busy_fraction']:.1%}, "
+              f"queue depth max {core['max_queue_depth']} / "
+              f"mean {core['mean_queue_depth']:.2f}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = run_experiment(config)
+    if args.json:
+        print(json.dumps(make_record(config, result), sort_keys=True))
+        return 0
+    _print_service(result)
     return 0
 
 
@@ -209,6 +263,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if "no multi-core" not in cores:
             print()
             print(cores)
+        latency = latency_table(records)
+        if "no open-loop" not in latency:
+            print()
+            print(latency)
         print()
         print(report.summary())
         for outcome in report.failed:
@@ -239,6 +297,30 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--json", action="store_true",
                             help="emit the store-record JSON instead of text")
     run_parser.set_defaults(func=cmd_run)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="open-loop service simulation: arrivals, queues, tail "
+             "latency")
+    _add_config_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--arrival", choices=("poisson", "mmpp"), default="poisson",
+        help="request arrival process (default: poisson)")
+    serve_parser.add_argument(
+        "--load", type=float, default=0.7,
+        help="offered load as a fraction of closed-loop capacity "
+             "(default: 0.7)")
+    serve_parser.add_argument(
+        "--dispatch", choices=DISPATCH_POLICIES, default="round_robin",
+        help="request-to-core dispatch policy (default: round_robin)")
+    serve_parser.add_argument(
+        "--requests", type=int, default=None,
+        help="open-loop requests to simulate "
+             "(default: cores x measured ops)")
+    serve_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the store-record JSON instead of text")
+    serve_parser.set_defaults(func=cmd_serve)
 
     breakdown_parser = sub.add_parser(
         "breakdown", help="Fig. 1-style cycle attribution")

@@ -29,6 +29,8 @@ Typical use::
 
 from .progress import NullProgress, ProgressReporter
 from .reporting import (
+    latency_table,
+    max_rate_under_slo,
     metrics_from_record,
     scaling_table,
     speedup_table,
@@ -68,7 +70,9 @@ __all__ = [
     "SweepSpec",
     "builtin_sweeps",
     "get_sweep",
+    "latency_table",
     "make_record",
+    "max_rate_under_slo",
     "metrics_from_record",
     "points_from_configs",
     "size_sweep_points",

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Tuple
 from ..sim.results import RunResult, format_table
 
 __all__ = ["metrics_from_record", "summary_table", "speedup_table",
-           "scaling_table"]
+           "scaling_table", "latency_table", "max_rate_under_slo"]
 
 
 def metrics_from_record(record: dict) -> dict:
@@ -54,7 +54,25 @@ def metrics_from_record(record: dict) -> dict:
         "fairness": result.fairness,
         "dram_busy_fraction": result.mem.dram_busy_fraction,
         "dram_max_queue_cycles": result.mem.dram_max_queue_cycles,
+        # open-loop service layer (PR 3): None for closed-loop runs, so
+        # the dict shape stays uniform across sweeps
+        "latency_p50": _service_field(result, "latency", "p50"),
+        "latency_p99": _service_field(result, "latency", "p99"),
+        "latency_p999": _service_field(result, "latency", "p999"),
+        "offered_rate": _service_field(result, "arrival_rate"),
+        "achieved_throughput": _service_field(result,
+                                              "achieved_throughput"),
     }
+
+
+def _service_field(result: RunResult, *path):
+    """Walk into ``result.service`` (None-safe for closed-loop runs)."""
+    node = result.service
+    for key in path:
+        if not isinstance(node, dict):
+            return None
+        node = node.get(key)
+    return node
 
 
 def summary_table(report) -> str:
@@ -142,6 +160,9 @@ def _group_key(config: dict) -> Tuple:
         config.get("measure_ops"),
         config.get("warmup_ops"),
         config.get("num_cores"),
+        config.get("arrival_process"),
+        config.get("offered_load"),
+        config.get("dispatch_policy"),
         config.get("seed"),
     )
 
@@ -184,3 +205,79 @@ def speedup_table(records: Iterable[dict]) -> str:
     if not rows:
         return "(no baseline-comparable records)"
     return format_table(["program", "run", "cycles/op", "speedup"], rows)
+
+
+def latency_table(records: Iterable[dict]) -> str:
+    """Throughput-latency curves from open-loop (service-layer) records.
+
+    One row per record carrying a ``service`` payload, grouped by
+    (program, frontend) and sorted by offered load so each curve reads
+    top to bottom: offered vs achieved rate (ops/cycle), the latency
+    percentiles, and the worst per-core queue depth.  The superlinear
+    rise of p99 towards saturation — the paper's "tail at capacity"
+    story — is visible directly in the column.
+    """
+    rows_in = []
+    for record in records:
+        service = record.get("result", {}).get("service")
+        if not service:
+            continue
+        config = record.get("config", {})
+        rows_in.append((config.get("program"), config.get("frontend"),
+                        service))
+    if not rows_in:
+        return "(no open-loop records)"
+
+    rows: List[List[str]] = []
+    for program, frontend, service in sorted(
+            rows_in,
+            key=lambda r: (str(r[0]), str(r[1]),
+                           r[2].get("offered_load", 0.0))):
+        latency = service.get("latency", {})
+        max_depth = max(
+            (core.get("max_queue_depth", 0)
+             for core in service.get("per_core", [])),
+            default=0)
+        rows.append([
+            str(program),
+            str(frontend),
+            f"{service.get('process')}/{service.get('dispatch')}",
+            f"{service.get('offered_load', 0.0):.2f}",
+            f"{service.get('arrival_rate', 0.0):.5f}",
+            f"{service.get('achieved_throughput', 0.0):.5f}",
+            f"{latency.get('p50', 0.0):.0f}",
+            f"{latency.get('p99', 0.0):.0f}",
+            f"{latency.get('p999', 0.0):.0f}",
+            str(max_depth),
+        ])
+    return format_table(
+        ["program", "frontend", "traffic", "load", "offered",
+         "achieved", "p50", "p99", "p99.9", "max depth"],
+        rows)
+
+
+def max_rate_under_slo(records: Iterable[dict],
+                       p99_slo: float) -> Dict[Tuple, float]:
+    """Per (program, frontend): the highest offered rate meeting the SLO.
+
+    Scans open-loop records and returns the maximum *absolute* arrival
+    rate (ops/cycle) whose measured p99 stays at or below ``p99_slo``
+    cycles — the capacity-at-SLO metric: a front-end that cuts per-op
+    service cycles sustains strictly more load before its tail blows
+    through the objective.  Groups with no record meeting the SLO are
+    absent from the result.
+    """
+    best: Dict[Tuple, float] = {}
+    for record in records:
+        service = record.get("result", {}).get("service")
+        if not service:
+            continue
+        p99 = service.get("latency", {}).get("p99")
+        rate = service.get("arrival_rate")
+        if p99 is None or rate is None or p99 > p99_slo:
+            continue
+        config = record.get("config", {})
+        group = (config.get("program"), config.get("frontend"))
+        if rate > best.get(group, 0.0):
+            best[group] = rate
+    return best

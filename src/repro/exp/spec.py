@@ -39,6 +39,7 @@ __all__ = [
     "rows_for_ratio",
     "size_sweep_points",
     "CORE_SWEEP_COUNTS",
+    "LOAD_SWEEP_LOADS",
     "SIZE_SWEEP_RATIOS",
 ]
 
@@ -311,12 +312,45 @@ def _cores_points() -> List[SweepPoint]:
     return spec.expand()
 
 
+#: offered loads of the throughput-latency sweep, as fractions of each
+#: configuration's own closed-loop capacity; the top points sit close
+#: enough to saturation that p99 visibly blows up
+LOAD_SWEEP_LOADS: Tuple[float, ...] = (0.3, 0.5, 0.7, 0.85, 0.95)
+
+
+def _load_points() -> List[SweepPoint]:
+    """Throughput-latency curves: {baseline, slb, stlt} x offered load.
+
+    Every point runs the same closed-loop measurement (per front-end)
+    plus an open-loop Poisson service simulation at the given load over
+    two cores.  The curves show the paper's per-op savings compounding:
+    STLT's shorter service times keep p99 flat to much higher absolute
+    request rates than the baseline's, so at any fixed p99 SLO the
+    accelerated service sustains strictly more load
+    (:func:`repro.exp.reporting.max_rate_under_slo`).
+    """
+    import os
+    num_keys = int(os.environ.get("REPRO_BENCH_KEYS", "20000"))
+    measure_ops = int(os.environ.get("REPRO_BENCH_OPS", "2000"))
+    spec = SweepSpec(
+        name="load",
+        base=dict(num_keys=num_keys, measure_ops=measure_ops,
+                  num_cores=2, arrival_process="poisson"),
+        grid={
+            "frontend": ["baseline", "slb", "stlt"],
+            "offered_load": list(LOAD_SWEEP_LOADS),
+        },
+    )
+    return spec.expand()
+
+
 #: named campaigns runnable as ``repro sweep <name>``
 _BUILTIN: Dict[str, Callable[[], List[SweepPoint]]] = {
     "smoke": _smoke_points,
     "smoke_mc": _smoke_mc_points,
     "size": _size_points,
     "cores": _cores_points,
+    "load": _load_points,
 }
 
 

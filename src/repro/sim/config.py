@@ -20,6 +20,12 @@ from ..params import SCALED_MACHINE, MachineParams, machine_from_dict
 PROGRAMS = ("redis", "unordered_map", "dense_hash_map", "ordered_map", "btree")
 FRONTENDS = ("baseline", "slb", "stlt", "stlt_va", "stlt_sw")
 DISTRIBUTIONS = ("zipf", "latest", "uniform")
+#: request-arrival models: the classic closed loop (one op in flight
+#: per core, no arrival clock) or an open-loop process served by the
+#: repro.svc layer (a test pins these against the svc factories)
+ARRIVAL_PROCESSES = ("closed", "poisson", "mmpp")
+#: open-loop request-to-core dispatch policies (repro.svc.dispatch)
+DISPATCH_POLICIES = ("round_robin", "key_hash", "jsq")
 
 #: paper regime: the 512 MB STLT holds 32 M rows for 10 M keys — 3.2 rows
 #: per key (1.25 keys per 4-way set), which is where Table V's conflict
@@ -62,6 +68,19 @@ class RunConfig:
     #: shared store; ``measure_ops`` counts *per core*, so the aggregate
     #: measures num_cores x measure_ops operations
     num_cores: int = 1
+    #: request-arrival model: "closed" (the classic closed loop) or an
+    #: open-loop process ("poisson", "mmpp") whose timestamped requests
+    #: queue on the cores through repro.svc
+    arrival_process: str = "closed"
+    #: open loop only: offered load as a fraction of the measured
+    #: closed-loop capacity (1.0 = arrivals at exactly the rate the
+    #: cores can serve; beyond saturation queues grow without bound)
+    offered_load: float = 0.7
+    #: open loop only: how arriving requests map to cores
+    dispatch_policy: str = "round_robin"
+    #: open loop only: requests to simulate; None -> one measured
+    #: closed-loop window (num_cores x measure_ops)
+    service_requests: Optional[int] = None
     seed: int = 1
     #: the ratio-preserving scaled machine (params.scaled_machine); pass
     #: params.DEFAULT_MACHINE for the literal Table III configuration
@@ -78,6 +97,16 @@ class RunConfig:
             raise ConfigError("key and operation counts must be positive")
         if self.num_cores < 1:
             raise ConfigError("need at least one core")
+        if self.arrival_process not in ARRIVAL_PROCESSES:
+            raise ConfigError(
+                f"unknown arrival process {self.arrival_process!r}")
+        if self.dispatch_policy not in DISPATCH_POLICIES:
+            raise ConfigError(
+                f"unknown dispatch policy {self.dispatch_policy!r}")
+        if not 0.0 < self.offered_load <= 4.0:
+            raise ConfigError("offered load must be in (0, 4]")
+        if self.service_requests is not None and self.service_requests <= 0:
+            raise ConfigError("service request count must be positive")
         for name in self.prefetchers:
             if name not in ("stream", "vldp", "tlb_distance"):
                 raise ConfigError(f"unknown prefetcher {name!r}")
@@ -105,6 +134,13 @@ class RunConfig:
         if self.slb_entries is not None:
             return self.slb_entries
         return self.effective_stlt_rows
+
+    @property
+    def effective_service_requests(self) -> int:
+        """Open-loop requests: explicit count, or one measured window."""
+        if self.service_requests is not None:
+            return self.service_requests
+        return self.num_cores * self.measure_ops
 
     @property
     def slow_hash(self) -> str:
@@ -158,7 +194,11 @@ class RunConfig:
             f"-{self.value_size}B"
         )
         if self.num_cores > 1:
-            return f"{base}x{self.num_cores}c"
+            base = f"{base}x{self.num_cores}c"
+        if self.arrival_process != "closed":
+            base = f"{base}@{self.arrival_process}-{self.offered_load:g}"
+            if self.dispatch_policy != "round_robin":
+                base = f"{base}-{self.dispatch_policy}"
         return base
 
 

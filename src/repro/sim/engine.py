@@ -204,13 +204,28 @@ class Engine:
     def run(self) -> RunResult:
         """Run the configured number of cores; single-core configs get
         the per-core result (identical to the pre-split engine), multi-
-        core configs the aggregate with per-core payloads attached."""
+        core configs the aggregate with per-core payloads attached.
+
+        Open-loop configs (``arrival_process != "closed"``) run the
+        same closed-loop measurement with the per-op capture hook armed
+        — the simulated cycles are bit-identical — and then feed the
+        captured per-core service times to the :mod:`repro.svc`
+        queueing layer, attaching its latency/throughput outcome as
+        ``result.service``.
+        """
         from .multicore import MultiCoreEngine  # avoid an import cycle
 
-        outcome = MultiCoreEngine(self).run()
-        if self.config.num_cores == 1:
-            return outcome.per_core[0]
-        return outcome.aggregate
+        open_loop = self.config.arrival_process != "closed"
+        outcome = MultiCoreEngine(self, capture_op_cycles=open_loop).run()
+        result = outcome.per_core[0] if self.config.num_cores == 1 \
+            else outcome.aggregate
+        if open_loop:
+            from ..svc.service import service_from_config
+            service = service_from_config(
+                self.config, outcome.op_cycles,
+                closed_loop_throughput=result.throughput)
+            result.service = service.to_dict()
+        return result
 
     # ------------------------------------------------------------------
     # operations

@@ -19,6 +19,14 @@ pre-split engine: core 0's stream is seeded with ``config.seed``, the
 fresh-key namespace is the identity mapping, and the per-core mark /
 delta bookkeeping is verbatim the old single-stream loop (a regression
 test pins this against golden numbers).
+
+With ``capture_op_cycles=True`` the loop additionally records every
+*measured* operation's cycle cost per core (the delta of the core's
+``total_cycles`` counter around the op).  The hook is pure observation
+— it reads a counter the loop already maintains — so captured and
+uncaptured runs are bit-identical; the per-op sequences feed the
+open-loop service layer (:mod:`repro.svc`), which charges queueing
+requests their measured service times.
 """
 
 from __future__ import annotations
@@ -37,6 +45,10 @@ class MultiCoreRunResult:
 
     per_core: List[RunResult]
     aggregate: RunResult
+    #: per-core measured-window per-op service cycles (only when the
+    #: engine ran with ``capture_op_cycles=True``); ``op_cycles[c][k]``
+    #: is core ``c``'s k-th measured operation's cycle cost
+    op_cycles: Optional[List[List[int]]] = None
 
 
 class _CoreRunState:
@@ -60,6 +72,8 @@ class _CoreRunState:
         self.fast_hits_at_mark = 0
         self.gets = 0
         self.sets = 0
+        #: measured-window per-op cycle costs (capture mode only)
+        self.op_cycles: List[int] = []
 
     def mark(self) -> None:
         self.snapshot = self.mem.stats.snapshot()
@@ -107,9 +121,13 @@ class _CoreRunState:
 class MultiCoreEngine:
     """Interleaves per-core operation streams over a shared engine."""
 
-    def __init__(self, engine) -> None:
+    def __init__(self, engine, capture_op_cycles: bool = False) -> None:
         self.engine = engine
         self.config = engine.config
+        #: record each measured op's cycle cost per core (pure
+        #: observation of the per-core cycle counter: simulated cycles
+        #: are bit-identical either way)
+        self.capture_op_cycles = capture_op_cycles
 
     def _streams(self, spec: WorkloadSpec) -> List[List]:
         """Materialise each core's operation stream up front.
@@ -142,12 +160,17 @@ class MultiCoreEngine:
         n = config.num_cores
         states = [_CoreRunState(engine, core_id) for core_id in range(n)]
 
+        capture = self.capture_op_cycles
+
         for i in range(config.total_ops):
+            measured = i >= warmup
             for core_id in range(n):
                 engine.bind_core(core_id)
                 state = states[core_id]
                 if i == warmup:
                     state.mark()
+                if capture and measured:
+                    cycles_before = state.mem.stats.total_cycles
                 op, key_id = streams[core_id][i]
                 if op is Operation.GET:
                     engine.do_get(core_id, key_id)
@@ -155,11 +178,18 @@ class MultiCoreEngine:
                 else:
                     engine.do_set(core_id, key_id, spec.value_size)
                     state.sets += 1
+                if capture and measured:
+                    state.op_cycles.append(
+                        state.mem.stats.total_cycles - cycles_before)
 
         per_core = [state.finish(n) for state in states]
+        op_cycles = [state.op_cycles for state in states] if capture \
+            else None
         if n == 1:
             return MultiCoreRunResult(per_core=per_core,
-                                      aggregate=per_core[0])
+                                      aggregate=per_core[0],
+                                      op_cycles=op_cycles)
         aggregate = aggregate_run_results(per_core, label=config.label,
                                           frontend=config.frontend)
-        return MultiCoreRunResult(per_core=per_core, aggregate=aggregate)
+        return MultiCoreRunResult(per_core=per_core, aggregate=aggregate,
+                                  op_cycles=op_cycles)

@@ -46,6 +46,11 @@ class RunResult:
     core_id: Optional[int] = None
     #: aggregate results only: the per-core result dicts
     cores: Optional[List[dict]] = None
+    #: open-loop runs only: the service-layer outcome
+    #: (:class:`repro.svc.service.ServiceResult` as a plain dict —
+    #: latency percentiles, offered vs achieved throughput, per-core
+    #: queue statistics, and the full latency histogram)
+    service: Optional[dict] = None
 
     @property
     def cycles_per_op(self) -> float:
@@ -81,6 +86,13 @@ class RunResult:
         if not self.cores:
             return [self]
         return [RunResult.from_dict(c) for c in self.cores]
+
+    def service_result(self):
+        """Re-hydrate the open-loop service outcome, or ``None``."""
+        if self.service is None:
+            return None
+        from ..svc.service import ServiceResult  # avoid an import cycle
+        return ServiceResult.from_dict(self.service)
 
     @property
     def tlb_misses(self) -> int:

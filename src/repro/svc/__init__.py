@@ -1,0 +1,52 @@
+"""repro.svc — the open-loop service layer over the multi-core engine.
+
+The closed-loop simulator (:mod:`repro.sim`) answers "how many cycles
+does one operation take?"; this package answers "what happens when
+requests *arrive on their own clock*?" — the question behind the
+paper's motivation of serving heavy Redis traffic.  It models a
+key-value *service*: timestamped request arrivals, dispatch onto the N
+simulated cores, per-core FIFO queues, and end-to-end latency
+accounting (queueing delay + the measured per-op service cycles the
+engine captured), all deterministic per seed.
+
+* :mod:`repro.svc.histogram` — mergeable log-bucketed latency
+  histogram with bounded-relative-error quantiles;
+* :mod:`repro.svc.arrival`   — arrival processes (Poisson, bursty
+  MMPP-style modulated Poisson);
+* :mod:`repro.svc.dispatch`  — dispatch policies (round-robin,
+  key-hash sharding, join-shortest-queue);
+* :mod:`repro.svc.service`   — the queueing simulation itself plus
+  :class:`ServiceResult` (percentiles, offered vs achieved
+  throughput, per-core queue statistics).
+
+The layer rides on top of closed-loop measurement rather than inside
+it: the engine's cycle numbers stay bit-identical whether or not the
+per-op capture hook is armed, so every golden regression keeps holding.
+"""
+
+from .arrival import ARRIVAL_PROCESSES, make_arrivals
+from .dispatch import (
+    DISPATCH_POLICIES,
+    Dispatcher,
+    JoinShortestQueueDispatcher,
+    KeyHashDispatcher,
+    RoundRobinDispatcher,
+    make_dispatcher,
+)
+from .histogram import LatencyHistogram
+from .service import ServiceResult, service_from_config, simulate_service
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "DISPATCH_POLICIES",
+    "Dispatcher",
+    "JoinShortestQueueDispatcher",
+    "KeyHashDispatcher",
+    "LatencyHistogram",
+    "RoundRobinDispatcher",
+    "ServiceResult",
+    "make_arrivals",
+    "make_dispatcher",
+    "service_from_config",
+    "simulate_service",
+]

@@ -1,0 +1,113 @@
+"""Dispatch policies: which core serves an arriving request.
+
+The front door of a sharded KV service.  Every policy sees the request
+(its sequence number and key id) plus the instantaneous per-core queue
+depths and picks a core — all state is internal and seeded by
+construction order only, so a policy replayed over the same request
+sequence makes identical decisions (the determinism contract).
+
+* ``round_robin`` — rotate through cores; perfectly balanced counts,
+  oblivious to both keys and queue state.
+* ``key_hash``    — shard by key: ``hash(key) mod cores``, so *all*
+  requests for a key land on one core.  This is how real Redis Cluster
+  and memcached farms route; it preserves per-core key locality (the
+  private L1/L2/TLB of that core stay warm for its shard) at the cost
+  of skew — a zipf-hot key makes its shard the tail.
+* ``jsq``         — join the shortest queue: pick the core with the
+  fewest requests in system (ties to the lowest core id).  The classic
+  latency-optimal greedy policy; needs global queue visibility.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["DISPATCH_POLICIES", "Dispatcher", "RoundRobinDispatcher",
+           "KeyHashDispatcher", "JoinShortestQueueDispatcher",
+           "make_dispatcher"]
+
+#: policies selectable via RunConfig.dispatch_policy / ``--dispatch``
+DISPATCH_POLICIES = ("round_robin", "key_hash", "jsq")
+
+
+class Dispatcher(abc.ABC):
+    """Maps an arriving request to the core that will serve it."""
+
+    name = "abstract"
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ConfigError("dispatcher needs at least one core")
+        self.num_cores = num_cores
+
+    @abc.abstractmethod
+    def pick(self, request_index: int, key_id: int,
+             depths: Sequence[int]) -> int:
+        """The core id in ``[0, num_cores)`` serving this request.
+
+        ``depths[c]`` is core ``c``'s in-system request count (queued +
+        in service) at the arrival instant.
+        """
+
+
+class RoundRobinDispatcher(Dispatcher):
+    """Rotate through cores in request order."""
+
+    name = "round_robin"
+
+    def pick(self, request_index: int, key_id: int,
+             depths: Sequence[int]) -> int:
+        return request_index % self.num_cores
+
+
+class KeyHashDispatcher(Dispatcher):
+    """Shard by key: a key's requests always hit one core."""
+
+    name = "key_hash"
+
+    def __init__(self, num_cores: int,
+                 key_hash: Optional[Callable[[int], int]] = None) -> None:
+        super().__init__(num_cores)
+        #: key id -> integer digest; identity by default (tests), the
+        #: service layer injects the config's fast hash over key bytes
+        self.key_hash = key_hash if key_hash is not None else (lambda k: k)
+
+    def pick(self, request_index: int, key_id: int,
+             depths: Sequence[int]) -> int:
+        return self.key_hash(key_id) % self.num_cores
+
+
+class JoinShortestQueueDispatcher(Dispatcher):
+    """Pick the least-loaded core (ties to the lowest core id)."""
+
+    name = "jsq"
+
+    def pick(self, request_index: int, key_id: int,
+             depths: Sequence[int]) -> int:
+        if len(depths) != self.num_cores:
+            raise ConfigError(
+                f"jsq saw {len(depths)} queue depths for "
+                f"{self.num_cores} cores")
+        best = 0
+        for core in range(1, self.num_cores):
+            if depths[core] < depths[best]:
+                best = core
+        return best
+
+
+def make_dispatcher(policy: str, num_cores: int,
+                    key_hash: Optional[Callable[[int], int]] = None,
+                    ) -> Dispatcher:
+    """Build a named dispatch policy."""
+    if policy == "round_robin":
+        return RoundRobinDispatcher(num_cores)
+    if policy == "key_hash":
+        return KeyHashDispatcher(num_cores, key_hash=key_hash)
+    if policy == "jsq":
+        return JoinShortestQueueDispatcher(num_cores)
+    raise ConfigError(
+        f"unknown dispatch policy {policy!r}; "
+        f"known: {list(DISPATCH_POLICIES)!r}")

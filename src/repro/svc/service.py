@@ -1,0 +1,257 @@
+"""The open-loop queueing simulation and its result record.
+
+The pipeline (``repro serve``, the ``load`` sweep):
+
+1. the closed-loop :class:`~repro.sim.multicore.MultiCoreEngine` runs
+   with the per-op capture hook armed, yielding each core's measured
+   per-operation *service* cycles (the full microarchitectural truth:
+   hashing, index walk, translation, STLT/SLB behaviour, DRAM
+   contention) without perturbing a single simulated cycle;
+2. an arrival process (:mod:`repro.svc.arrival`) stamps open-loop
+   request arrival times at ``offered_load x closed-loop capacity``;
+3. a dispatch policy (:mod:`repro.svc.dispatch`) assigns each request
+   to a core; each core serves its FIFO queue one request at a time,
+   charging the next captured service time from that core's sequence
+   (cycled if the open-loop run is longer than the measured window);
+4. every request's end-to-end latency = queueing delay + service
+   cycles, recorded in a mergeable log-bucketed histogram
+   (:mod:`repro.svc.histogram`).
+
+:class:`ServiceResult` carries p50/p95/p99/p99.9, offered vs achieved
+throughput (ops/cycle), and per-core queue statistics; it serialises
+exactly through JSON, riding inside ``RunResult.service`` so the
+``repro.exp`` store, runner, and reporting work unchanged.
+
+Everything downstream of the captured service times is deterministic
+per ``RunConfig.seed``: the arrival clock, the request key stream, and
+every dispatch decision derive from seeded ``random.Random`` streams
+(salted so they are independent of the workload generator's draws).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass, fields
+from typing import Deque, Dict, List, Sequence
+
+from ..errors import ConfigError, ReproError
+from ..hashes.registry import get_hash
+from ..workloads.distributions import make_chooser
+from ..workloads.keys import key_bytes
+from .arrival import make_arrivals
+from .dispatch import Dispatcher, make_dispatcher
+from .histogram import DEFAULT_PRECISION, LatencyHistogram
+
+__all__ = ["ServiceResult", "simulate_service", "service_from_config"]
+
+#: seed salts keeping the service layer's random streams independent of
+#: the workload generator's (which uses ``seed`` and ``seed ^ 0x5EED``)
+_ARRIVAL_SALT = 0xA221
+_KEYSTREAM_SALT = 0x5E12
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one open-loop service run (JSON-exact round trip)."""
+
+    #: arrival process ("poisson" | "mmpp")
+    process: str
+    #: dispatch policy ("round_robin" | "key_hash" | "jsq")
+    dispatch: str
+    #: offered load as a fraction of closed-loop capacity
+    offered_load: float
+    #: offered arrival rate, ops/cycle (load x closed-loop throughput)
+    arrival_rate: float
+    #: the closed-loop capacity the load was scaled against, ops/cycle
+    closed_loop_throughput: float
+    #: open-loop requests simulated
+    requests: int
+    #: cycles from the arrival epoch (t = 0) to the last completion
+    makespan: float
+    #: requests / makespan, ops/cycle — sags below ``arrival_rate``
+    #: when the service cannot keep up
+    achieved_throughput: float
+    mean_latency: float
+    mean_queue_delay: float
+    #: end-to-end latency percentiles, cycles: p50 / p95 / p99 / p999
+    latency: Dict[str, float]
+    #: the full log-bucketed latency distribution (mergeable)
+    histogram: dict
+    #: per-core queue statistics: requests, busy_fraction,
+    #: max_queue_depth, mean_queue_depth
+    per_core: List[dict]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.per_core)
+
+    @property
+    def p50(self) -> float:
+        return self.latency["p50"]
+
+    @property
+    def p99(self) -> float:
+        return self.latency["p99"]
+
+    def latency_histogram(self) -> LatencyHistogram:
+        """Re-hydrate the full distribution (e.g. for merging runs)."""
+        return LatencyHistogram.from_dict(self.histogram)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """All fields as JSON-native data (exact round trip)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceResult":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"unknown ServiceResult field(s): {sorted(unknown)!r}")
+        return cls(**data)
+
+
+def simulate_service(
+    service_cycles: Sequence[Sequence[int]],
+    arrivals: Sequence[float],
+    key_ids: Sequence[int],
+    dispatcher: Dispatcher,
+    *,
+    process: str,
+    offered_load: float,
+    arrival_rate: float,
+    closed_loop_throughput: float,
+    precision: int = DEFAULT_PRECISION,
+) -> ServiceResult:
+    """Run the open-loop queueing simulation.
+
+    ``service_cycles[c]`` is core ``c``'s measured per-op service-time
+    sequence; request ``k`` of core ``c`` is charged entry ``k mod
+    len`` of it, so service-time autocorrelation (cache warm-up runs,
+    unlucky STLT conflict bursts) survives into the queueing model
+    instead of being averaged away.
+    """
+    n = dispatcher.num_cores
+    if len(service_cycles) != n:
+        raise ConfigError(
+            f"got {len(service_cycles)} service sequences for {n} cores")
+    if any(not seq for seq in service_cycles):
+        raise ConfigError("every core needs a non-empty service sequence")
+    if len(arrivals) != len(key_ids):
+        raise ConfigError("arrivals and key ids must align")
+    if not arrivals:
+        raise ConfigError("need at least one request")
+    if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        raise ConfigError("arrival times must be non-decreasing")
+
+    free_at = [0.0] * n
+    in_flight: List[Deque[float]] = [deque() for _ in range(n)]
+    served = [0] * n
+    busy = [0.0] * n
+    depth_sum = [0] * n
+    depth_max = [0] * n
+    histogram = LatencyHistogram(precision=precision)
+    total_latency = 0.0
+    total_queue_delay = 0.0
+    last_completion = 0.0
+
+    depths = [0] * n
+    for index, (arrival, key_id) in enumerate(zip(arrivals, key_ids)):
+        for core in range(n):
+            queue = in_flight[core]
+            while queue and queue[0] <= arrival:
+                queue.popleft()
+            depths[core] = len(queue)
+            depth_sum[core] += len(queue)
+
+        core = dispatcher.pick(index, key_id, depths)
+        if not 0 <= core < n:
+            raise ReproError(
+                f"dispatcher {dispatcher.name!r} picked core {core} "
+                f"of {n}")
+        sequence = service_cycles[core]
+        service = sequence[served[core] % len(sequence)]
+        served[core] += 1
+
+        start = arrival if arrival > free_at[core] else free_at[core]
+        completion = start + service
+        free_at[core] = completion
+        in_flight[core].append(completion)
+        if len(in_flight[core]) > depth_max[core]:
+            depth_max[core] = len(in_flight[core])
+        busy[core] += service
+
+        latency = completion - arrival
+        histogram.record(latency)
+        total_latency += latency
+        total_queue_delay += start - arrival
+        if completion > last_completion:
+            last_completion = completion
+
+    requests = len(arrivals)
+    makespan = last_completion
+    per_core = [
+        {
+            "core": core,
+            "requests": served[core],
+            "busy_fraction": busy[core] / makespan if makespan else 0.0,
+            "max_queue_depth": depth_max[core],
+            "mean_queue_depth": depth_sum[core] / requests,
+        }
+        for core in range(n)
+    ]
+    return ServiceResult(
+        process=process,
+        dispatch=dispatcher.name,
+        offered_load=offered_load,
+        arrival_rate=arrival_rate,
+        closed_loop_throughput=closed_loop_throughput,
+        requests=requests,
+        makespan=makespan,
+        achieved_throughput=requests / makespan if makespan else 0.0,
+        mean_latency=total_latency / requests,
+        mean_queue_delay=total_queue_delay / requests,
+        latency=histogram.percentiles(),
+        histogram=histogram.to_dict(),
+        per_core=per_core,
+    )
+
+
+def service_from_config(config, service_cycles: Sequence[Sequence[int]],
+                        closed_loop_throughput: float) -> ServiceResult:
+    """Drive :func:`simulate_service` from a ``RunConfig``.
+
+    ``config`` is a :class:`~repro.sim.config.RunConfig` with an open
+    ``arrival_process``; ``service_cycles`` are the per-core per-op
+    cycles the engine captured; ``closed_loop_throughput`` is the
+    measured closed-loop capacity (aggregate ops/cycle) that
+    ``offered_load`` scales against.
+    """
+    if config.arrival_process == "closed":
+        raise ConfigError("closed-loop configs have no service model")
+    if closed_loop_throughput <= 0.0:
+        raise ConfigError("closed-loop throughput must be positive")
+    rate = config.offered_load * closed_loop_throughput
+    count = config.effective_service_requests
+    arrivals = make_arrivals(config.arrival_process, rate, count,
+                             seed=config.seed ^ _ARRIVAL_SALT)
+    chooser = make_chooser(config.distribution, config.num_keys,
+                           seed=config.seed ^ _KEYSTREAM_SALT)
+    key_ids = [chooser.choose() for _ in range(count)]
+    fast_hash = get_hash(config.fast_hash)
+
+    def key_hash(key_id: int) -> int:
+        return fast_hash(key_bytes(key_id))
+
+    dispatcher = make_dispatcher(config.dispatch_policy, config.num_cores,
+                                 key_hash=key_hash)
+    return simulate_service(
+        service_cycles, arrivals, key_ids, dispatcher,
+        process=config.arrival_process,
+        offered_load=config.offered_load,
+        arrival_rate=rate,
+        closed_loop_throughput=closed_loop_throughput,
+    )

@@ -32,6 +32,10 @@ ALTERNATES = {
     "prefetchers": ("stream",),
     "prefill": False,
     "num_cores": 4,
+    "arrival_process": "poisson",
+    "offered_load": 0.5,
+    "dispatch_policy": "jsq",
+    "service_requests": 64,
     "seed": 99,
     "machine": dataclasses.replace(SCALED_MACHINE, line_bytes=128),
 }

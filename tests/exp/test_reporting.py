@@ -19,6 +19,9 @@ EXPECTED_METRIC_KEYS = {
     # multi-core / DRAM observability (PR 2)
     "num_cores", "throughput", "fairness",
     "dram_busy_fraction", "dram_max_queue_cycles",
+    # open-loop latency (PR 3) — None for closed-loop records
+    "latency_p50", "latency_p99", "latency_p999",
+    "offered_rate", "achieved_throughput",
 }
 
 

@@ -158,6 +158,67 @@ class TestQueryInvalidate:
         assert len(list(store.records())) == 2
 
 
+class TestServiceRoundTrip:
+    """Open-loop latency results survive the JSONL store bit-exactly
+    (PR 3): the nested service payload — histogram buckets, float
+    percentiles, per-core queue stats — is keyed by the config hash
+    like every other field and re-hydrates to an equal ServiceResult."""
+
+    @pytest.fixture(scope="class")
+    def open_loop(self):
+        from repro.sim.engine import run_experiment
+        config = RunConfig(
+            frontend="stlt", num_cores=2, num_keys=200,
+            warmup_ops=40, measure_ops=80,
+            arrival_process="poisson", offered_load=0.7,
+            dispatch_policy="jsq")
+        return config, run_experiment(config)
+
+    def test_service_payload_round_trips_exactly(self, tmp_path,
+                                                 open_loop):
+        config, result = open_loop
+        assert result.service is not None
+        path = tmp_path / "r.jsonl"
+        ResultStore(path).put(config, result)
+        fetched = ResultStore(path).get_result(config)
+        assert fetched == result
+        assert fetched.service == result.service
+        hydrated = fetched.service_result()
+        assert hydrated.to_dict() == result.service_result().to_dict()
+        assert hydrated.p99 == result.service_result().p99
+        assert hydrated.latency_histogram().count == \
+            result.service_result().latency_histogram().count
+
+    def test_traffic_fields_change_the_key(self, tmp_path, open_loop):
+        import dataclasses
+        config, result = open_loop
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.put(config, result)
+        for change in ({"arrival_process": "mmpp"},
+                       {"offered_load": 0.3},
+                       {"dispatch_policy": "round_robin"},
+                       {"service_requests": 512}):
+            assert store.get(dataclasses.replace(config, **change)) \
+                is None, f"stale hit after changing {change}"
+
+    def test_latency_metrics_surface_in_reporting(self, open_loop):
+        from repro.exp.reporting import metrics_from_record
+        config, result = open_loop
+        metrics = metrics_from_record(make_record(config, result))
+        assert metrics["latency_p50"] <= metrics["latency_p99"] \
+            <= metrics["latency_p999"]
+        assert metrics["achieved_throughput"] > 0.0
+        assert metrics["offered_rate"] > 0.0
+
+    def test_closed_loop_records_have_no_latency_metrics(self):
+        from repro.exp.reporting import metrics_from_record
+        config = RunConfig()
+        metrics = metrics_from_record(make_record(config,
+                                                  fake_run(config)))
+        assert metrics["latency_p99"] is None
+        assert metrics["offered_rate"] is None
+
+
 class TestMakeRecord:
     def test_label_defaults_to_config_label(self):
         config = RunConfig()

@@ -158,6 +158,54 @@ class TestMultiCore:
             state.finish(2)
 
 
+class TestOpCycleCapture:
+    """The per-op cycle hook (PR 3) is pure observation: capture on or
+    off, the simulated machine runs the exact same cycles — and the
+    captured per-op cycles must tile the measured window exactly."""
+
+    @pytest.mark.parametrize("program,frontend", SMOKE_POINTS)
+    def test_capture_stays_bit_identical_to_golden(self, golden,
+                                                   program, frontend):
+        config = RunConfig(program=program, frontend=frontend, **SMOKE)
+        outcome = MultiCoreEngine(Engine(config),
+                                  capture_op_cycles=True).run()
+        result = outcome.per_core[0]
+        want = golden[f"{program}/{frontend}"]
+        assert result.cycles == want["cycles"]
+        assert result.ops == want["ops"]
+        assert result.attr == want["attr"]
+        mem = asdict(result.mem)
+        for counter, value in want["mem"].items():
+            assert mem[counter] == value, (
+                f"{program}/{frontend}: capture perturbed {counter}")
+
+    def test_capture_off_leaves_op_cycles_unset(self):
+        engine = Engine(RunConfig(frontend="stlt", num_cores=2, **SMOKE))
+        outcome = MultiCoreEngine(engine).run()
+        assert outcome.op_cycles is None
+
+    @pytest.mark.parametrize("num_cores", [1, 3])
+    def test_op_cycles_tile_the_measured_window(self, num_cores):
+        engine = Engine(RunConfig(frontend="stlt",
+                                  num_cores=num_cores, **SMOKE))
+        outcome = MultiCoreEngine(engine, capture_op_cycles=True).run()
+        assert outcome.op_cycles is not None
+        assert len(outcome.op_cycles) == num_cores
+        for core, per_op in enumerate(outcome.op_cycles):
+            result = outcome.per_core[core]
+            assert len(per_op) == result.ops
+            assert all(c >= 0 for c in per_op)
+            # the per-op deltas partition the measured window exactly
+            assert sum(per_op) == result.mem.total_cycles
+
+    def test_multicore_capture_matches_uncaptured_run(self):
+        config = RunConfig(frontend="stlt", num_cores=2, **SMOKE)
+        plain = MultiCoreEngine(Engine(config)).run()
+        captured = MultiCoreEngine(Engine(config),
+                                   capture_op_cycles=True).run()
+        assert captured.aggregate.to_dict() == plain.aggregate.to_dict()
+
+
 class TestSharedTablesAcrossCores:
     def test_stus_share_one_stlt_and_ipb(self):
         engine = Engine(RunConfig(frontend="stlt", num_cores=3, **SMOKE))

@@ -1,0 +1,87 @@
+"""Arrival processes: determinism, rate fidelity, burstiness."""
+
+import statistics
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.svc.arrival import (
+    ARRIVAL_PROCESSES,
+    make_arrivals,
+    mmpp_arrivals,
+    poisson_arrivals,
+)
+
+
+def gaps(times):
+    return [b - a for a, b in zip([0.0] + times[:-1], times)]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+    def test_same_seed_same_timestamps(self, process):
+        a = make_arrivals(process, rate=0.01, count=500, seed=7)
+        b = make_arrivals(process, rate=0.01, count=500, seed=7)
+        assert a == b  # bit-identical, not just close
+
+    @pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+    def test_different_seed_different_timestamps(self, process):
+        a = make_arrivals(process, rate=0.01, count=500, seed=7)
+        b = make_arrivals(process, rate=0.01, count=500, seed=8)
+        assert a != b
+
+
+class TestShape:
+    @pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+    def test_monotone_positive_and_counted(self, process):
+        times = make_arrivals(process, rate=0.05, count=300, seed=3)
+        assert len(times) == 300
+        assert all(t > 0 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_mean_rate_matches(self):
+        rate = 0.01
+        times = poisson_arrivals(rate, 4000, seed=11)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_mmpp_long_run_rate_matches(self):
+        rate = 0.01
+        times = mmpp_arrivals(rate, 8000, seed=11)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.15)
+
+    def test_mmpp_is_burstier_than_poisson(self):
+        """The modulated process has higher gap dispersion (CV > the
+        Poisson CV of ~1) at the same long-run rate."""
+        rate = 0.01
+        poisson_cv = statistics.pstdev(
+            gaps(poisson_arrivals(rate, 6000, seed=5)))
+        mmpp_cv = statistics.pstdev(
+            gaps(mmpp_arrivals(rate, 6000, seed=5)))
+        assert mmpp_cv > poisson_cv
+
+    def test_empty_request_count_allowed(self):
+        assert make_arrivals("poisson", rate=1.0, count=0, seed=1) == []
+
+
+class TestValidation:
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ConfigError):
+            make_arrivals("diurnal", rate=1.0, count=10)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            poisson_arrivals(0.0, 10)
+        with pytest.raises(ConfigError):
+            mmpp_arrivals(-1.0, 10)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigError):
+            poisson_arrivals(1.0, -1)
+
+    def test_bad_mmpp_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            mmpp_arrivals(1.0, 10, burstiness=0.5)
+        with pytest.raises(ConfigError):
+            mmpp_arrivals(1.0, 10, dwell_requests=0.0)

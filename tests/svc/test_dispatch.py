@@ -1,0 +1,75 @@
+"""Dispatch policies: balance, affinity, shortest-queue greed."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import DISPATCH_POLICIES as CONFIG_POLICIES
+from repro.svc.dispatch import (
+    DISPATCH_POLICIES,
+    JoinShortestQueueDispatcher,
+    KeyHashDispatcher,
+    RoundRobinDispatcher,
+    make_dispatcher,
+)
+
+
+class TestFactory:
+    def test_config_and_factory_policy_lists_agree(self):
+        """RunConfig validates against the same names the factory
+        builds — the two lists must never drift apart."""
+        assert tuple(CONFIG_POLICIES) == tuple(DISPATCH_POLICIES)
+
+    @pytest.mark.parametrize("policy", DISPATCH_POLICIES)
+    def test_every_policy_constructs(self, policy):
+        dispatcher = make_dispatcher(policy, 4)
+        assert dispatcher.name == policy
+        assert dispatcher.num_cores == 4
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            make_dispatcher("random", 4)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            RoundRobinDispatcher(0)
+
+
+class TestRoundRobin:
+    def test_rotates_evenly(self):
+        d = RoundRobinDispatcher(3)
+        picks = [d.pick(i, key_id=99, depths=[0, 0, 0])
+                 for i in range(9)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+
+class TestKeyHash:
+    def test_same_key_always_same_core(self):
+        d = KeyHashDispatcher(4)
+        cores = {d.pick(i, key_id=123, depths=[0] * 4)
+                 for i in range(50)}
+        assert len(cores) == 1
+
+    def test_injected_hash_controls_the_shard(self):
+        d = KeyHashDispatcher(4, key_hash=lambda k: k * 7 + 1)
+        assert d.pick(0, key_id=1, depths=[0] * 4) == (1 * 7 + 1) % 4
+
+    def test_spreads_distinct_keys(self):
+        d = KeyHashDispatcher(4)
+        cores = {d.pick(i, key_id=key, depths=[0] * 4)
+                 for i, key in enumerate(range(100))}
+        assert cores == {0, 1, 2, 3}
+
+
+class TestJoinShortestQueue:
+    def test_picks_minimum_depth(self):
+        d = JoinShortestQueueDispatcher(4)
+        assert d.pick(0, key_id=0, depths=[3, 1, 2, 5]) == 1
+
+    def test_ties_break_to_lowest_core(self):
+        d = JoinShortestQueueDispatcher(4)
+        assert d.pick(0, key_id=0, depths=[2, 1, 1, 1]) == 1
+
+    def test_depth_vector_shape_enforced(self):
+        d = JoinShortestQueueDispatcher(4)
+        with pytest.raises(ConfigError):
+            d.pick(0, key_id=0, depths=[0, 0])

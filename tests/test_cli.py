@@ -100,6 +100,62 @@ class TestJsonOutput:
                  "stlt", "slb")))
 
 
+SERVE_ARGS = ["serve", "--keys", "2000", "--ops", "200",
+              "--warmup-ops", "400", "--cores", "2"]
+
+
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.arrival == "poisson"
+        assert args.load == 0.7
+        assert args.dispatch == "round_robin"
+        assert args.requests is None
+
+    def test_bad_traffic_choices_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "closed"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--dispatch", "random"])
+
+    def test_serve_prints_percentiles_and_queues(self, capsys):
+        rc = main(SERVE_ARGS + ["--frontend", "stlt", "--load", "0.7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for needle in ("latency p50", "latency p95", "latency p99",
+                       "latency p99.9", "offered", "achieved",
+                       "closed loop", "queue depth max"):
+            assert needle in out, f"serve output missing {needle!r}"
+        # one queue line per core
+        assert "core 0:" in out and "core 1:" in out
+
+    def test_serve_json_is_a_store_record_with_service(self, capsys):
+        rc = main(SERVE_ARGS + ["--json", "--dispatch", "jsq",
+                                "--requests", "150"])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        config = RunConfig.from_dict(record["config"])
+        assert record["key"] == config_hash(config)
+        assert config.arrival_process == "poisson"
+        assert config.dispatch_policy == "jsq"
+        assert config.service_requests == 150
+        service = record["result"]["service"]
+        assert service["requests"] == 150
+        assert set(service["latency"]) == {"p50", "p95", "p99", "p999"}
+        assert service["arrival_rate"] > 0.0
+        assert service["achieved_throughput"] > 0.0
+        assert len(service["per_core"]) == 2
+        assert all("max_queue_depth" in core
+                   for core in service["per_core"])
+
+    def test_run_records_stay_closed_loop(self, capsys):
+        rc = main(["run", "--json"] + RUN_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["config"]["arrival_process"] == "closed"
+        assert record["result"]["service"] is None
+
+
 class TestSweepCommand:
     SPEC = {
         "name": "mini",
@@ -147,6 +203,27 @@ class TestSweepCommand:
         assert len(lines) == 2
         assert {line["status"] for line in lines} == {"completed"}
         assert all("result" in line for line in lines)
+
+    def test_open_loop_spec_prints_latency_table(self, capsys, tmp_path):
+        spec = {
+            "name": "mini-load",
+            "base": {"num_keys": 400, "measure_ops": 80,
+                     "warmup_ops": 160, "num_cores": 2,
+                     "arrival_process": "poisson"},
+            "grid": {"frontend": ["baseline", "stlt"],
+                     "offered_load": [0.4, 0.9]},
+        }
+        path = tmp_path / "load.json"
+        path.write_text(json.dumps(spec))
+        store = str(tmp_path / "store.jsonl")
+        rc = main(["sweep", "--spec", str(path), "--jobs", "2",
+                   "--store", store, "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 completed, 0 cached, 0 failed" in out
+        assert "p99" in out
+        assert "offered" in out
+        assert "no open-loop" not in out
 
     def test_unknown_named_sweep_fails_loudly(self, tmp_path):
         from repro.errors import ConfigError
