@@ -1,0 +1,52 @@
+"""repro.chaos — deterministic OS-churn and fault injection.
+
+The paper's correctness story is *lazy* STLT coherence (Section III-D1):
+page invalidations buffer in the 32-entry IPB, overflow triggers a full
+STLT scrub, context switches clear and replay the buffer, and STLTresize
+restarts the table cold.  Steady-state YCSB never exercises any of it.
+This package does, adversarially and reproducibly:
+
+* :mod:`repro.chaos.schedule`  — seeded event schedule (which adverse
+  event fires after which operation on which core) plus the fault-plan
+  grammar for per-core slowdown/stall faults;
+* :mod:`repro.chaos.injector`  — drives the scheduled events through
+  the real layers: page migration storms via
+  :meth:`~repro.mem.address_space.AddressSpace.migrate_page`,
+  unmap/remap cycles, record move/update churn (with and without the
+  Section III-F refresh protocol), context-switch storms, and
+  mid-run ``STLTresize``;
+* :mod:`repro.chaos.oracle`    — the always-on stale-translation
+  oracle: every GET is cross-checked against the authoritative record
+  store, untimed, and a wrong or torn read raises
+  :class:`~repro.errors.CoherenceError` instead of skewing numbers;
+* :mod:`repro.chaos.report`    — folds injector counters, IPB/scrub
+  statistics, and the oracle verdict into the ``chaos`` payload riding
+  on :class:`~repro.sim.results.RunResult`.
+
+Everything is a pure function of ``RunConfig`` (churn knobs are part of
+the content hash), and with churn disabled the hooks are never invoked
+— idle chaos is bit-identical to the pre-chaos engine, pinned by the
+golden regression tests.
+"""
+
+from .injector import ChaosInjector
+from .oracle import StaleTranslationOracle
+from .report import build_chaos_report
+from .schedule import (
+    CHAOS_EVENT_KINDS,
+    ChaosEvent,
+    ChaosSchedule,
+    FaultSpec,
+    parse_fault,
+)
+
+__all__ = [
+    "CHAOS_EVENT_KINDS",
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosSchedule",
+    "FaultSpec",
+    "StaleTranslationOracle",
+    "build_chaos_report",
+    "parse_fault",
+]

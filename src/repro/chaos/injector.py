@@ -1,0 +1,221 @@
+"""The chaos injector: scheduled adverse events over the real layers.
+
+One :class:`ChaosInjector` rides on a running engine.  The multi-core
+interleave consults it twice per (operation, core) slot:
+
+* :meth:`fault_cycles` — per-core performance faults.  After an op
+  completes, the loop asks how many *extra* cycles the active fault
+  plan charges the core for that op (a slowdown multiplies the op's
+  measured cost; a stall adds a flat tax) and ticks them into the
+  core's cycle counter before the service-time capture, so the
+  open-loop queueing layer sees the slow core.
+
+* :meth:`after_op` — OS churn.  The seeded
+  :class:`~repro.chaos.schedule.ChaosSchedule` decides whether an
+  adverse event fires in this slot; the injector then drives it through
+  the *real* mutation paths, never through simulator backdoors:
+
+  - ``migrate``      — burst of record-page migrations via
+    :meth:`~repro.mem.address_space.AddressSpace.migrate_page`
+    (fires every core's TLB/STB invalidation hooks, feeds the IPB);
+  - ``record_move``  — records reallocated through
+    :meth:`~repro.kvs.records.RecordStore.move`; half the moves follow
+    the paper's Section III-F refresh protocol
+    (``engine.notify_record_moved``), half skip it adversarially, so
+    the cached (VA, PTE) shortcut goes stale and must die by semantic
+    validation;
+  - ``context_switch`` — ``context_switch_out`` + ``context_switch_in``
+    on the :class:`~repro.core.os_interface.OSInterface` (IPB clear,
+    kernel-array replay);
+  - ``unmap_remap``  — unmap/remap cycles over a dedicated scratch
+    region (reclaim pressure: IPB traffic without faulting live
+    records);
+  - ``stlt_resize``  — ``STLTresize`` to the same row count mid-run:
+    the table restarts cold (Section III-F).
+
+Target selection (which record, which scratch page) uses a *separate*
+seeded stream from the event schedule, so changing what an event does
+never shifts when later events fire.  With ``churn_rate == 0`` and an
+empty fault plan the engine never constructs an injector at all — idle
+chaos is the absence of chaos, pinned bit-identical by the golden
+regression tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..errors import FaultInjectionError
+from ..params import PAGE_BYTES
+from .schedule import CHAOS_EVENT_KINDS, ChaosEvent, ChaosSchedule, FaultSpec, parse_fault
+
+__all__ = ["ChaosInjector", "SCRATCH_PAGES", "TARGET_SEED_SALT"]
+
+#: seed salt for the target-selection stream (independent of the event
+#: schedule's CHAOS_SEED_SALT and the workload/service salts)
+TARGET_SEED_SALT = 0x7A26
+
+#: pages in the scratch region unmap/remap churn cycles through — small
+#: enough to revisit pages (re-invalidation of an already-buffered vpn),
+#: large enough that a burst can push the 32-entry IPB over the edge
+SCRATCH_PAGES = 64
+
+
+class ChaosInjector:
+    """Drives one run's scheduled churn events and fault plan."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        config = engine.config
+        self.schedule = ChaosSchedule(config.churn_rate, config.seed)
+        self.rng = random.Random(config.seed ^ TARGET_SEED_SALT)
+        self.faults: List[FaultSpec] = [
+            parse_fault(spec) for spec in config.fault_plan]
+        for fault in self.faults:
+            if fault.core >= config.num_cores:
+                raise FaultInjectionError(
+                    f"fault {fault.to_spec()!r} targets core {fault.core} "
+                    f"but the run has {config.num_cores} core(s)")
+        self._total_slots = config.total_ops * config.num_cores
+        self._scratch_base: int = 0
+
+        #: events applied, by kind (fired-but-inapplicable events — e.g.
+        #: an stlt_resize on a baseline run — count under "skipped")
+        self.events: Dict[str, int] = {k: 0 for k in CHAOS_EVENT_KINDS}
+        self.events_skipped = 0
+        self.pages_migrated = 0
+        self.pages_unmapped = 0
+        self.records_moved = 0
+        self.protocol_follows = 0
+        self.protocol_skips = 0
+        self.context_switches = 0
+        self.stlt_resizes = 0
+        self.fault_cycles_charged = 0
+
+    # ------------------------------------------------------------------
+    # per-core performance faults
+    # ------------------------------------------------------------------
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(self.faults)
+
+    def fault_cycles(self, core_id: int, step: int, op_cycles: int) -> int:
+        """Extra cycles the fault plan charges this core for one op."""
+        extra = 0
+        for fault in self.faults:
+            if fault.core == core_id and fault.active(
+                    step, self.engine.config.total_ops):
+                extra += fault.extra_cycles(op_cycles)
+        self.fault_cycles_charged += extra
+        return extra
+
+    # ------------------------------------------------------------------
+    # scheduled churn events
+    # ------------------------------------------------------------------
+
+    def after_op(self, core_id: int, step: int) -> None:
+        """Consult the schedule for this slot; apply the event if any."""
+        event = self.schedule.draw()
+        if event is None:
+            return
+        handler = getattr(self, f"_do_{event.kind}")
+        if handler(event):
+            self.events[event.kind] += 1
+        else:
+            self.events_skipped += 1
+
+    # -- handlers (return True when the event actually applied) --------
+
+    def _pick_record(self):
+        records = self.engine.records
+        return records[self.rng.randrange(len(records))]
+
+    def _do_migrate(self, event: ChaosEvent) -> bool:
+        """Compaction/NUMA: record pages move to fresh frames.
+
+        The VA stays valid — exactly the hazard that makes stale PTEs
+        in the STLT dangerous (Section III-D1).  Every migration fires
+        the invalidation hooks: per-core TLB/STB shootdowns, then the
+        kernel's IPB insert (overflow → full STLT scrub).
+        """
+        space = self.engine.ctx.space
+        for _ in range(event.burst):
+            record = self._pick_record()
+            space.migrate_page(record.va)
+            self.pages_migrated += 1
+        return True
+
+    def _do_record_move(self, event: ChaosEvent) -> bool:
+        """Realloc churn: records land at fresh VAs.
+
+        ``follow_protocol`` decides whether the application performs the
+        paper's Section III-F refresh (``insertSTLT`` for the new VA,
+        charged to the active core); when skipped, the stale fast-path
+        row must die by semantic validation — the oracle checks it did.
+        """
+        engine = self.engine
+        for _ in range(event.burst):
+            record = self._pick_record()
+            old_va = engine.ctx.records.move(record)
+            self.records_moved += 1
+            if event.follow_protocol:
+                engine.notify_record_moved(record, old_va)
+                self.protocol_follows += 1
+            else:
+                self.protocol_skips += 1
+        return True
+
+    def _do_context_switch(self, event: ChaosEvent) -> bool:
+        """Switch out and back in: IPB clear, kernel-array replay."""
+        osi = self.engine.osi
+        if osi is None:
+            return False
+        osi.context_switch_out()
+        osi.context_switch_in()
+        self.context_switches += 1
+        return True
+
+    def _do_unmap_remap(self, event: ChaosEvent) -> bool:
+        """Reclaim churn over the scratch region: pages vanish, return.
+
+        Uses a dedicated region so live records never fault; the point
+        is pure invalidation pressure on the IPB/scrub machinery.
+        """
+        space = self.engine.ctx.space
+        if not self._scratch_base:
+            self._scratch_base = space.alloc_region(
+                SCRATCH_PAGES * PAGE_BYTES)
+        for _ in range(event.burst):
+            page = self.rng.randrange(SCRATCH_PAGES)
+            va = self._scratch_base + page * PAGE_BYTES
+            space.unmap_page(va)
+            space.remap_page(va)
+            self.pages_unmapped += 1
+        return True
+
+    def _do_stlt_resize(self, event: ChaosEvent) -> bool:
+        """STLTresize to the same size: a full cold restart mid-run."""
+        osi = self.engine.osi
+        if osi is None or osi.stlt is None:
+            return False
+        osi.stlt_resize(osi.stlt.num_rows)
+        self.stlt_resizes += 1
+        return True
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict:
+        return {
+            "events": dict(self.events),
+            "events_skipped": self.events_skipped,
+            "pages_migrated": self.pages_migrated,
+            "pages_unmapped": self.pages_unmapped,
+            "records_moved": self.records_moved,
+            "protocol_follows": self.protocol_follows,
+            "protocol_skips": self.protocol_skips,
+            "context_switches": self.context_switches,
+            "stlt_resizes": self.stlt_resizes,
+            "fault_cycles_charged": self.fault_cycles_charged,
+        }

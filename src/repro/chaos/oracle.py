@@ -1,0 +1,92 @@
+"""The always-on stale-translation oracle.
+
+The paper's fast path returns a *virtual address* out of the STLT and
+trusts two mechanisms to keep that safe: the IPB filters VAs whose pages
+were invalidated since the last scrub (Section III-D1), and semantic
+validation (step ③ of Fig. 4) kills VAs whose record moved or died.  A
+bug in either — a missed IPB probe, a scrub that skips a set, a stale
+``by_va`` row — would not crash the simulator; it would silently return
+the *wrong record* and skew every number downstream.
+
+:class:`StaleTranslationOracle` closes that hole.  It is consulted on
+every GET (not only under churn) with the record the front-end returned
+and whether the fast path produced it, and cross-checks against the
+authoritative stores **untimed**:
+
+* the returned record must be the live record registered at its VA in
+  ``RecordStore.by_va`` (identity, not equality — a torn read that
+  reconstructed a lookalike record still fails);
+* its key bytes must equal the requested key (a stale VA that validated
+  against the wrong record);
+* a *fast-path* hit must sit on a currently mapped page — a hit whose
+  translation died means a stale VA slipped past the IPB **and** past
+  semantic validation.
+
+Any violation increments the counter and raises
+:class:`~repro.errors.CoherenceError` — churn may cost cycles, never
+correctness.  All checks are O(1) dictionary/page-table probes and
+charge no simulated cycles, so an oracle-checked run is bit-identical
+to an unchecked one (the golden regression pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CoherenceError
+from ..kvs.records import Record, RecordStore
+from ..mem.address_space import AddressSpace
+
+__all__ = ["StaleTranslationOracle"]
+
+
+class StaleTranslationOracle:
+    """Untimed cross-check of every GET against the authoritative store."""
+
+    def __init__(self, records: RecordStore, space: AddressSpace) -> None:
+        self.records = records
+        self.space = space
+        self.checks = 0
+        self.fast_checks = 0
+        self.violations = 0
+
+    # ------------------------------------------------------------------
+
+    def _violation(self, message: str) -> None:
+        self.violations += 1
+        raise CoherenceError(message)
+
+    def check_get(self, key: bytes, record: Optional[Record],
+                  fast_hit: bool) -> None:
+        """Verify one GET outcome; raises ``CoherenceError`` on a lie."""
+        self.checks += 1
+        if record is None:
+            # a lost key is reported by the engine as KVSError; nothing
+            # translation-related to verify
+            return
+        live = self.records.by_va.get(record.va)
+        if live is not record:
+            self._violation(
+                f"GET {key!r} returned a record at {record.va:#x} that is "
+                f"not the live record registered at that address")
+        if record.key != key:
+            self._violation(
+                f"GET {key!r} returned the record of key {record.key!r} "
+                f"at {record.va:#x} (stale translation survived "
+                f"validation)")
+        if fast_hit:
+            self.fast_checks += 1
+            if self.space.translate(record.va) is None:
+                self._violation(
+                    f"fast-path GET {key!r} hit VA {record.va:#x} whose "
+                    f"page has no live translation (stale VA slipped "
+                    f"past the IPB)")
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "checks": self.checks,
+            "fast_checks": self.fast_checks,
+            "violations": self.violations,
+        }

@@ -1,0 +1,212 @@
+"""Deterministic chaos schedules and the fault-plan grammar.
+
+Two independent sources of adversity, both pure functions of the seed:
+
+* **Churn events** — OS-level disturbances drawn per (operation, core)
+  slot by :class:`ChaosSchedule`.  ``churn_rate`` is the per-slot firing
+  probability; a fired slot draws one weighted event kind and a burst
+  size.  The multi-core interleave visits slots in a fixed order, so a
+  schedule replayed over the same run fires the same events at the same
+  points — chaos runs are exactly reproducible and diffable.
+
+* **Faults** — per-core performance faults described by small spec
+  strings in ``RunConfig.fault_plan`` and parsed into
+  :class:`FaultSpec`:
+
+  - ``"slowdown:core=1,factor=4"``     — multiply core 1's per-op cost
+    by 4 (the injector charges ``(factor-1) x op_cycles`` extra);
+  - ``"stall:core=0,cycles=300"``      — add a flat 300-cycle stall to
+    every op on core 0;
+
+  both accept ``start=0.25,stop=0.75`` — fractions of the run's total
+  operations bounding the fault's active window (default: whole run).
+
+The grammar is deliberately tiny and validated eagerly: ``RunConfig``
+parses every spec at construction time, so a typo fails at config time
+(``FaultInjectionError``, mapped to its own CLI exit code) rather than
+silently injecting nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError, FaultInjectionError
+
+__all__ = ["CHAOS_EVENT_KINDS", "ChaosEvent", "ChaosSchedule",
+           "FaultSpec", "parse_fault"]
+
+#: seed salt keeping the chaos stream independent of the workload
+#: generator (seed, seed ^ 0x5EED) and the service layer's salts
+CHAOS_SEED_SALT = 0xC4A0
+
+#: event kinds and their relative weights.  Migration storms dominate
+#: (memory compaction is the common case and the IPB's raison d'etre);
+#: STLTresize is rare but catastrophic — a full cold restart whose
+#: transient the paper's 128 M-op runs amortise but a scaled-down
+#: measured window cannot, so its weight is scaled down with the run:
+#: it only starts firing once the churn sweep pushes into the extreme
+#: intensities (one resize per ~500 events).
+_EVENT_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("migrate", 0.53),          # compaction/NUMA: record pages move
+    ("record_move", 0.285),     # realloc churn: record VAs go stale
+    ("context_switch", 0.10),   # IPB clear + kernel-array replay
+    ("unmap_remap", 0.083),     # reclaim: pages vanish, then return
+    ("stlt_resize", 0.002),     # table restarts cold (Section III-F)
+)
+
+CHAOS_EVENT_KINDS: Tuple[str, ...] = tuple(k for k, _ in _EVENT_WEIGHTS)
+
+#: largest page burst one migrate / unmap_remap event may issue; big
+#: enough that a handful of events overflow the 32-entry IPB
+MAX_BURST = 8
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One adverse event: what fires, and how many pages it touches."""
+
+    kind: str
+    #: pages (migrate/unmap_remap) or records (record_move) touched
+    burst: int = 1
+    #: record_move only: whether the application follows the paper's
+    #: Section III-F refresh protocol after the move (False = the
+    #: adversarial case: the stale row must die by semantic validation)
+    follow_protocol: bool = True
+
+
+class ChaosSchedule:
+    """Seeded per-slot event source for the interleave loop.
+
+    One instance is consulted once per (operation, core) slot in loop
+    order; all randomness comes from a single private ``Random`` stream,
+    so the full event sequence is a function of (seed, churn_rate) and
+    the visiting order alone.
+    """
+
+    def __init__(self, churn_rate: float, seed: int) -> None:
+        if not 0.0 <= churn_rate <= 1.0:
+            raise ConfigError("churn rate must be within [0, 1]")
+        self.churn_rate = churn_rate
+        self.rng = random.Random(seed ^ CHAOS_SEED_SALT)
+        self._kinds = [k for k, _ in _EVENT_WEIGHTS]
+        self._weights = [w for _, w in _EVENT_WEIGHTS]
+
+    def draw(self) -> Optional[ChaosEvent]:
+        """The event firing in the current slot, or None.
+
+        Exactly one ``random()`` draw happens on a quiet slot, so event
+        positions do not shift when an earlier event's parameters
+        change kind-specific draw counts.
+        """
+        if self.churn_rate <= 0.0:
+            return None
+        if self.rng.random() >= self.churn_rate:
+            return None
+        kind = self.rng.choices(self._kinds, weights=self._weights, k=1)[0]
+        burst = self.rng.randint(1, MAX_BURST)
+        follow = self.rng.random() < 0.5
+        return ChaosEvent(kind=kind, burst=burst, follow_protocol=follow)
+
+
+# ----------------------------------------------------------------------
+# fault plan grammar
+# ----------------------------------------------------------------------
+
+_FAULT_KINDS = ("slowdown", "stall")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One per-core performance fault with an active window."""
+
+    kind: str                  # "slowdown" | "stall"
+    core: int
+    factor: float = 1.0        # slowdown: per-op cost multiplier
+    cycles: int = 0            # stall: flat extra cycles per op
+    start: float = 0.0         # active window, fractions of total ops
+    stop: float = 1.0
+
+    def active(self, step: int, total_ops: int) -> bool:
+        """Whether the fault applies to operation index ``step``."""
+        if total_ops <= 0:
+            return False
+        frac = step / total_ops
+        return self.start <= frac < self.stop
+
+    def extra_cycles(self, op_cycles: int) -> int:
+        """Extra cycles to charge on top of one op's measured cost."""
+        extra = 0
+        if self.kind == "slowdown":
+            extra += int(op_cycles * (self.factor - 1.0))
+        elif self.kind == "stall":
+            extra += self.cycles
+        return max(extra, 0)
+
+    def to_spec(self) -> str:
+        """The canonical spec string parsing back to this fault."""
+        if self.kind == "slowdown":
+            parts = [f"core={self.core}", f"factor={self.factor:g}"]
+        else:
+            parts = [f"core={self.core}", f"cycles={self.cycles}"]
+        if (self.start, self.stop) != (0.0, 1.0):
+            parts.append(f"start={self.start:g}")
+            parts.append(f"stop={self.stop:g}")
+        return f"{self.kind}:{','.join(parts)}"
+
+
+def parse_fault(spec: str) -> FaultSpec:
+    """Parse one fault-plan entry; raises ``FaultInjectionError``."""
+    if not isinstance(spec, str) or ":" not in spec:
+        raise FaultInjectionError(
+            f"fault spec {spec!r} must look like "
+            f"'slowdown:core=N,factor=F' or 'stall:core=N,cycles=C'")
+    kind, _, body = spec.partition(":")
+    if kind not in _FAULT_KINDS:
+        raise FaultInjectionError(
+            f"unknown fault kind {kind!r}; known: {list(_FAULT_KINDS)!r}")
+    params: Dict[str, str] = {}
+    for item in body.split(","):
+        if not item:
+            continue
+        if "=" not in item:
+            raise FaultInjectionError(
+                f"fault spec {spec!r}: {item!r} is not key=value")
+        key, _, value = item.partition("=")
+        params[key.strip()] = value.strip()
+
+    allowed = {"core", "start", "stop"}
+    allowed.add("factor" if kind == "slowdown" else "cycles")
+    unknown = set(params) - allowed
+    if unknown:
+        raise FaultInjectionError(
+            f"fault spec {spec!r}: unknown parameter(s) "
+            f"{sorted(unknown)!r}")
+    if "core" not in params:
+        raise FaultInjectionError(f"fault spec {spec!r} needs core=N")
+
+    try:
+        core = int(params["core"])
+        factor = float(params.get("factor", 1.0))
+        cycles = int(params.get("cycles", 0))
+        start = float(params.get("start", 0.0))
+        stop = float(params.get("stop", 1.0))
+    except ValueError as exc:
+        raise FaultInjectionError(
+            f"fault spec {spec!r}: {exc}") from exc
+
+    if core < 0:
+        raise FaultInjectionError(f"fault spec {spec!r}: core must be >= 0")
+    if kind == "slowdown" and factor < 1.0:
+        raise FaultInjectionError(
+            f"fault spec {spec!r}: slowdown factor must be >= 1")
+    if kind == "stall" and cycles <= 0:
+        raise FaultInjectionError(
+            f"fault spec {spec!r}: stall needs cycles > 0")
+    if not 0.0 <= start < stop <= 1.0:
+        raise FaultInjectionError(
+            f"fault spec {spec!r}: need 0 <= start < stop <= 1")
+    return FaultSpec(kind=kind, core=core, factor=factor, cycles=cycles,
+                     start=start, stop=stop)

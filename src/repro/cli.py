@@ -1,23 +1,35 @@
 """Command-line interface: ``python -m repro ...``.
 
-Five subcommands:
+Six subcommands:
 
 ``run``       simulate one configuration and print its metrics
               (optionally against a baseline run for speedups);
 ``serve``     open-loop service simulation: requests arrive on their
               own clock (Poisson or bursty MMPP), queue on the cores,
               and report tail latency (p50/p95/p99/p99.9), offered vs
-              achieved throughput, and per-core queue depths;
+              achieved throughput, and per-core queue depths — with
+              optional timeout/retry, hedging, and SLO-fallback
+              mitigation;
+``chaos``     run a configuration under deterministic OS churn and
+              fault injection (page migrations, unmap/remap storms,
+              context switches, mid-run STLT resizes) with the
+              stale-translation oracle armed, and report the coherence
+              telemetry (IPB overflows, scrub work, oracle verdict);
 ``breakdown`` print the Fig. 1-style cycle breakdown of a configuration;
 ``hwcost``    print the Table I on-chip cost accounting;
 ``sweep``     run a whole campaign (named sweep or JSON spec file) in
               parallel through :mod:`repro.exp`, with a durable result
               store, per-run retry/timeout, and progress/ETA output.
 
-``run``, ``serve``, and ``breakdown`` accept ``--json`` and then emit
-the same machine-readable record the sweep store writes (config +
-result keyed by the config content hash), so single runs and campaigns
-feed the same tooling.
+``run``, ``serve``, ``chaos``, and ``breakdown`` accept ``--json`` and
+then emit the same machine-readable record the sweep store writes
+(config + result keyed by the config content hash), so single runs and
+campaigns feed the same tooling.
+
+Every :class:`~repro.errors.ReproError` subclass maps to its own exit
+code with a one-line message on stderr (no tracebacks for expected
+failures): config 2, coherence 3, fault plan 4, STLT misuse 5, KVS 6,
+address 7, page fault 8, allocation 9, other repro errors 10.
 
 Examples::
 
@@ -26,9 +38,13 @@ Examples::
     python -m repro run --json --keys 5000 --ops 1000
     python -m repro serve --frontend stlt --cores 4 --load 0.7 --json
     python -m repro serve --arrival mmpp --dispatch jsq --load 0.9
+    python -m repro serve --cores 4 --fault slowdown:core=1,factor=4 \
+        --timeout 6 --retries 2 --hedge 4 --fallback
+    python -m repro chaos --frontend stlt --churn-rate 0.05
+    python -m repro chaos --churn-rate 0.1 --compare-baseline
     python -m repro breakdown --program redis
     python -m repro sweep smoke --jobs 2
-    python -m repro sweep load --jobs 4 --store results.jsonl
+    python -m repro sweep churn --jobs 4 --store results.jsonl
     python -m repro sweep --spec campaign.json --fresh --json
     python -m repro hwcost
 """
@@ -42,12 +58,24 @@ import sys
 from typing import List, Optional
 
 from .core.hwcost import hardware_cost
+from .errors import (
+    AddressError,
+    AllocationError,
+    CoherenceError,
+    ConfigError,
+    FaultInjectionError,
+    KVSError,
+    PageFault,
+    ReproError,
+    STLTError,
+)
 from .exp import (
     ProgressReporter,
     ResultStore,
     SweepRunner,
     SweepSpec,
     builtin_sweeps,
+    churn_table,
     get_sweep,
     latency_table,
     make_record,
@@ -68,6 +96,28 @@ from .sim.results import RunResult, speedup
 
 #: default on-disk result store for ``repro sweep``
 DEFAULT_STORE = ".repro_results.jsonl"
+
+#: exit code per error class; subclasses resolve via the MRO, so a
+#: future ``ReproError`` child inherits its parent's code (or 10)
+EXIT_CODES = {
+    ConfigError: 2,
+    CoherenceError: 3,
+    FaultInjectionError: 4,
+    STLTError: 5,
+    KVSError: 6,
+    AddressError: 7,
+    PageFault: 8,
+    AllocationError: 9,
+    ReproError: 10,
+}
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The CLI exit code of an error (nearest class in the MRO)."""
+    for klass in type(exc).__mro__:
+        if klass in EXIT_CODES:
+            return EXIT_CODES[klass]
+    return 10
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -90,6 +140,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=1,
                         help="simulated cores, each streaming its own "
                              "workload over the shared store")
+    parser.add_argument("--churn-rate", type=float, default=0.0,
+                        help="per-(op, core) probability of an adverse "
+                             "OS event (page migration, record realloc, "
+                             "context switch, unmap/remap, STLTresize)")
+    parser.add_argument("--fault", action="append", default=None,
+                        metavar="SPEC",
+                        help="per-core fault, e.g. "
+                             "'slowdown:core=1,factor=4' or "
+                             "'stall:core=0,cycles=300' (repeatable)")
     parser.add_argument("--seed", type=int, default=1)
 
 
@@ -113,6 +172,14 @@ def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
         offered_load=getattr(args, "load", 0.7),
         dispatch_policy=getattr(args, "dispatch", "round_robin"),
         service_requests=getattr(args, "requests", None),
+        churn_rate=getattr(args, "churn_rate", 0.0),
+        fault_plan=tuple(getattr(args, "fault", None) or ()),
+        # mitigation knobs, present only on the serve parser
+        svc_timeout=getattr(args, "timeout", None),
+        svc_retries=getattr(args, "retries", 0),
+        svc_backoff=getattr(args, "backoff", 2.0),
+        svc_hedge=getattr(args, "hedge", None),
+        svc_fallback=getattr(args, "fallback", False),
         seed=args.seed,
     )
 
@@ -186,6 +253,12 @@ def _print_service(result: RunResult) -> None:
     print(f"latency p99.9 : {latency.get('p999', 0.0):.0f} cycles")
     print(f"mean latency  : {service.get('mean_latency', 0.0):.1f} cycles "
           f"({service.get('mean_queue_delay', 0.0):.1f} queueing)")
+    if service.get("mitigation"):
+        print(f"mitigation    : {service.get('timeouts', 0)} timeouts, "
+              f"{service.get('retries', 0)} retries, "
+              f"{service.get('hedges', 0)} hedges "
+              f"({service.get('hedge_wins', 0)} won), "
+              f"{service.get('fallbacks', 0)} fallbacks")
     for core in service.get("per_core", []):
         print(f"  core {core['core']}: {core['requests']} reqs, "
               f"busy {core['busy_fraction']:.1%}, "
@@ -200,6 +273,59 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(json.dumps(make_record(config, result), sort_keys=True))
         return 0
     _print_service(result)
+    if result.chaos is not None:
+        print()
+        _print_chaos_telemetry(result.chaos)
+    return 0
+
+
+def _print_chaos_telemetry(chaos: dict) -> None:
+    events = chaos.get("events", {})
+    fired = ", ".join(f"{kind}={count}"
+                      for kind, count in events.items() if count)
+    oracle = chaos.get("oracle", {})
+    print(f"churn rate    : {chaos.get('churn_rate', 0.0):g}")
+    if chaos.get("fault_plan"):
+        print(f"fault plan    : {', '.join(chaos['fault_plan'])} "
+              f"({chaos.get('fault_cycles_charged', 0)} cycles charged)")
+    print(f"chaos events  : {fired or 'none fired'}")
+    print(f"churn volume  : {chaos.get('pages_migrated', 0)} pages "
+          f"migrated, {chaos.get('pages_unmapped', 0)} unmapped, "
+          f"{chaos.get('records_moved', 0)} records moved "
+          f"({chaos.get('protocol_skips', 0)} without the refresh "
+          f"protocol)")
+    print(f"IPB overflows : {chaos.get('ipb_overflows', 0)} "
+          f"({chaos.get('stlt_rows_scrubbed', 0)} STLT rows scrubbed)")
+    print(f"oracle        : {oracle.get('checks', 0)} checks "
+          f"({oracle.get('fast_checks', 0)} fast-path), "
+          f"{oracle.get('violations', 0)} violations")
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    if not config.chaos_enabled:
+        print("chaos: nothing to inject — give --churn-rate > 0 and/or "
+              "--fault SPEC", file=sys.stderr)
+        return 2
+    result = run_experiment(config)
+    if args.json:
+        record = make_record(config, result)
+        if args.compare_baseline and args.frontend != "baseline":
+            base_config = _config_from_args(args, "baseline")
+            baseline = run_experiment(base_config)
+            record["baseline"] = make_record(base_config, baseline)
+            record["speedup"] = speedup(baseline, result)
+        print(json.dumps(record, sort_keys=True))
+        return 0
+    print(f"configuration : {result.label}")
+    print(f"cycles/op     : {result.cycles_per_op:.1f}")
+    _print_chaos_telemetry(result.chaos or {})
+    if args.compare_baseline and args.frontend != "baseline":
+        baseline = run_experiment(_config_from_args(args, "baseline"))
+        print(f"baseline      : {baseline.cycles_per_op:.1f} cycles/op "
+              f"(same churn)")
+        print(f"speedup       : {speedup(baseline, result):.2f}x under "
+              f"churn")
     return 0
 
 
@@ -267,6 +393,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if "no open-loop" not in latency:
             print()
             print(latency)
+        churn = churn_table(records)
+        if "no churn" not in churn:
+            print()
+            print(churn)
         print()
         print(report.summary())
         for outcome in report.failed:
@@ -318,9 +448,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop requests to simulate "
              "(default: cores x measured ops)")
     serve_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="client timeout in multiples of the mean service time; "
+             "enables bounded retry")
+    serve_parser.add_argument(
+        "--retries", type=int, default=0,
+        help="bounded retries after a timeout (default: 0)")
+    serve_parser.add_argument(
+        "--backoff", type=float, default=2.0,
+        help="timeout multiplier per retry (default: 2.0)")
+    serve_parser.add_argument(
+        "--hedge", type=float, default=None,
+        help="hedge delay in multiples of the mean service time; "
+             "duplicates still-queued requests to another core")
+    serve_parser.add_argument(
+        "--fallback", action="store_true",
+        help="SLO-aware fallback: reroute around drowning cores at "
+             "dispatch time")
+    serve_parser.add_argument(
         "--json", action="store_true",
         help="emit the store-record JSON instead of text")
     serve_parser.set_defaults(func=cmd_serve)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run under deterministic OS churn / fault injection with "
+             "the stale-translation oracle armed")
+    _add_config_arguments(chaos_parser)
+    chaos_parser.set_defaults(churn_rate=0.05)
+    chaos_parser.add_argument(
+        "--compare-baseline", action="store_true",
+        help="also run the baseline under the same churn and print the "
+             "surviving speedup")
+    chaos_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the store-record JSON instead of text")
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     breakdown_parser = sub.add_parser(
         "breakdown", help="Fig. 1-style cycle attribution")
@@ -363,7 +526,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # expected failure modes get a clean one-line diagnosis and a
+        # distinct exit code instead of a traceback; genuine bugs
+        # (TypeError and friends) still propagate loudly
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

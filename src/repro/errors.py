@@ -43,3 +43,20 @@ class STLTError(ReproError):
 
 class KVSError(ReproError):
     """Errors from the simulated key-value stores and index structures."""
+
+
+class CoherenceError(ReproError):
+    """The stale-translation oracle caught a wrong or torn fast-path read.
+
+    Raised by :class:`repro.chaos.oracle.StaleTranslationOracle` when a
+    GET returns a record that disagrees with the authoritative record
+    store — a stale VA that validated against the wrong record, a key
+    mismatch that slipped through, or a fast-path hit whose page has no
+    live translation.  This is the loud-failure half of the paper's lazy
+    STLT-coherence story (Section III-D1): churn may cost cycles, never
+    correctness.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A chaos fault plan was malformed or could not be applied."""

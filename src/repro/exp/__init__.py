@@ -29,6 +29,7 @@ Typical use::
 
 from .progress import NullProgress, ProgressReporter
 from .reporting import (
+    churn_table,
     latency_table,
     max_rate_under_slo,
     metrics_from_record,
@@ -69,6 +70,7 @@ __all__ = [
     "SweepRunner",
     "SweepSpec",
     "builtin_sweeps",
+    "churn_table",
     "get_sweep",
     "latency_table",
     "make_record",

@@ -20,7 +20,8 @@ from typing import Dict, Iterable, List, Tuple
 from ..sim.results import RunResult, format_table
 
 __all__ = ["metrics_from_record", "summary_table", "speedup_table",
-           "scaling_table", "latency_table", "max_rate_under_slo"]
+           "scaling_table", "latency_table", "max_rate_under_slo",
+           "churn_table"]
 
 
 def metrics_from_record(record: dict) -> dict:
@@ -62,12 +63,35 @@ def metrics_from_record(record: dict) -> dict:
         "offered_rate": _service_field(result, "arrival_rate"),
         "achieved_throughput": _service_field(result,
                                               "achieved_throughput"),
+        # chaos / coherence telemetry (PR 4): None or 0 for quiet runs,
+        # so the dict shape stays uniform across sweeps
+        "oracle_checks": _chaos_field(result, "oracle", "checks"),
+        "oracle_violations": _chaos_field(result, "oracle", "violations"),
+        "ipb_overflows": _chaos_field(result, "ipb_overflows"),
+        "stlt_rows_scrubbed": _chaos_field(result, "stlt_rows_scrubbed"),
+        "chaos_events": (
+            sum(result.chaos.get("events", {}).values())
+            if result.chaos else None),
+        # mitigation telemetry (service layer, PR 4)
+        "svc_timeouts": _service_field(result, "timeouts"),
+        "svc_hedges": _service_field(result, "hedges"),
+        "svc_fallbacks": _service_field(result, "fallbacks"),
     }
 
 
 def _service_field(result: RunResult, *path):
     """Walk into ``result.service`` (None-safe for closed-loop runs)."""
     node = result.service
+    for key in path:
+        if not isinstance(node, dict):
+            return None
+        node = node.get(key)
+    return node
+
+
+def _chaos_field(result: RunResult, *path):
+    """Walk into ``result.chaos`` (None-safe for quiet runs)."""
+    node = result.chaos
     for key in path:
         if not isinstance(node, dict):
             return None
@@ -163,6 +187,10 @@ def _group_key(config: dict) -> Tuple:
         config.get("arrival_process"),
         config.get("offered_load"),
         config.get("dispatch_policy"),
+        # chaos knobs: a baseline under churn only anchors runs under
+        # the *same* churn (speedup retention compares like with like)
+        config.get("churn_rate"),
+        tuple(config.get("fault_plan") or ()),
         config.get("seed"),
     )
 
@@ -253,6 +281,80 @@ def latency_table(records: Iterable[dict]) -> str:
     return format_table(
         ["program", "frontend", "traffic", "load", "offered",
          "achieved", "p50", "p99", "p99.9", "max depth"],
+        rows)
+
+
+def churn_table(records: Iterable[dict]) -> str:
+    """Speedup retention under OS churn (the paper's robustness story).
+
+    Groups chaos-sweep records by churn intensity and renders one row
+    per (program, churn_rate): baseline and accelerated cycles/op, the
+    speedup at that intensity, and *retention* — the speedup divided by
+    the quiet (churn 0) speedup of the same workload, i.e. how much of
+    the acceleration survives the disturbance.  Coherence-machinery
+    telemetry (IPB overflows, STLT rows scrubbed, oracle verdict) rides
+    along so a degradation is attributable at a glance.
+    """
+    by_cell: Dict[Tuple, Dict[str, dict]] = {}
+    for record in records:
+        config = record.get("config", {})
+        rate = config.get("churn_rate")
+        if rate is None:
+            continue
+        cell = by_cell.setdefault((config.get("program"), rate), {})
+        cell[config.get("frontend", "?")] = record
+    if not any(rate > 0 for _, rate in by_cell):
+        return "(no churn records)"
+
+    # quiet-run speedups anchor the retention column
+    quiet: Dict[Tuple, float] = {}
+    for (program, rate), cell in by_cell.items():
+        if rate != 0 or "baseline" not in cell:
+            continue
+        base = metrics_from_record(cell["baseline"])
+        for frontend, record in cell.items():
+            if frontend == "baseline":
+                continue
+            accel = metrics_from_record(record)
+            if accel["cycles_per_op"]:
+                quiet[(program, frontend)] = (
+                    base["cycles_per_op"] / accel["cycles_per_op"])
+
+    rows: List[List[str]] = []
+    for (program, rate) in sorted(by_cell, key=lambda k: (str(k[0]), k[1])):
+        cell = by_cell[(program, rate)]
+        if "baseline" not in cell:
+            continue
+        base = metrics_from_record(cell["baseline"])
+        for frontend in sorted(cell):
+            if frontend == "baseline":
+                continue
+            accel = metrics_from_record(cell[frontend])
+            speedup = (base["cycles_per_op"] / accel["cycles_per_op"]
+                       if accel["cycles_per_op"] else float("inf"))
+            anchor = quiet.get((program, frontend))
+            retention = f"{speedup / anchor:.0%}" if anchor else "-"
+            violations = accel["oracle_violations"]
+            oracle = ("-" if violations is None
+                      else ("OK" if violations == 0 else
+                            f"{violations} VIOLATIONS"))
+            rows.append([
+                str(program),
+                str(frontend),
+                f"{rate:g}",
+                f"{base['cycles_per_op']:.1f}",
+                f"{accel['cycles_per_op']:.1f}",
+                f"{speedup:.2f}x",
+                retention,
+                str(accel["ipb_overflows"] or 0),
+                str(accel["stlt_rows_scrubbed"] or 0),
+                oracle,
+            ])
+    if not rows:
+        return "(no churn records)"
+    return format_table(
+        ["program", "frontend", "churn", "base cyc/op", "accel cyc/op",
+         "speedup", "retention", "IPB ovfl", "rows scrubbed", "oracle"],
         rows)
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "points_from_configs",
     "rows_for_ratio",
     "size_sweep_points",
+    "CHURN_SWEEP_RATES",
     "CORE_SWEEP_COUNTS",
     "LOAD_SWEEP_LOADS",
     "SIZE_SWEEP_RATIOS",
@@ -344,6 +345,43 @@ def _load_points() -> List[SweepPoint]:
     return spec.expand()
 
 
+#: churn intensities of the robustness sweep, per-(op, core) event
+#: probabilities.  With a mean burst of ~4.5 pages per event, 0.005
+#: already means one OS-level disturbance per ~100 ops per core — far
+#: beyond steady-state churn on a real box — and the top end is an
+#: adversarial compaction storm, deliberately past the point where the
+#: acceleration should die: the sweep shows *where* it dies, not that
+#: it never does
+CHURN_SWEEP_RATES: Tuple[float, ...] = (
+    0.0, 0.002, 0.005, 0.01, 0.02, 0.05)
+
+
+def _churn_points() -> List[SweepPoint]:
+    """Robustness under OS churn: {baseline, stlt} x churn intensity.
+
+    Every point runs with the stale-translation oracle armed (it always
+    is), so the sweep both *quantifies* graceful degradation — how much
+    of the quiet-run STLT speedup survives each churn intensity
+    (:func:`repro.exp.reporting.churn_table`) — and *proves* coherence:
+    any stale fast-path read raises ``CoherenceError`` and fails the
+    run rather than skewing its numbers.  Two cores, so migrations and
+    scrubs hit a genuinely shared STLT/IPB.
+    """
+    import os
+    num_keys = int(os.environ.get("REPRO_BENCH_KEYS", "20000"))
+    measure_ops = int(os.environ.get("REPRO_BENCH_OPS", "1500"))
+    spec = SweepSpec(
+        name="churn",
+        base=dict(num_keys=num_keys, measure_ops=measure_ops,
+                  num_cores=2),
+        grid={
+            "frontend": ["baseline", "stlt"],
+            "churn_rate": list(CHURN_SWEEP_RATES),
+        },
+    )
+    return spec.expand()
+
+
 #: named campaigns runnable as ``repro sweep <name>``
 _BUILTIN: Dict[str, Callable[[], List[SweepPoint]]] = {
     "smoke": _smoke_points,
@@ -351,6 +389,7 @@ _BUILTIN: Dict[str, Callable[[], List[SweepPoint]]] = {
     "size": _size_points,
     "cores": _cores_points,
     "load": _load_points,
+    "churn": _churn_points,
 }
 
 

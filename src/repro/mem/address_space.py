@@ -100,6 +100,23 @@ class AddressSpace:
         self._fire_invalidation(vpn)
         self.page_table.unmap(vpn)
 
+    def remap_page(self, vaddr: int) -> int:
+        """Map the (currently unmapped) page of ``vaddr`` to a fresh frame.
+
+        The second half of an unmap/remap churn cycle (page reclaimed and
+        later faulted back in).  No invalidation fires — there was no
+        valid translation to shoot down; stale cached entries for the
+        page were already pushed through :meth:`unmap_page`'s hooks.
+        Returns the new pfn.
+        """
+        vpn = vaddr >> PAGE_SHIFT
+        if self.page_table.lookup(vpn) is not None:
+            raise AddressError(
+                f"remap of page {vpn:#x} which is still mapped")
+        new_pfn = self.frames.alloc()
+        self.page_table.map(vpn, new_pfn)
+        return new_pfn
+
     def migrate_page(self, vaddr: int) -> int:
         """Move a page to a fresh physical frame (swap/compaction/NUMA).
 

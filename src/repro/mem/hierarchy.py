@@ -128,6 +128,21 @@ class MemorySystem:
         if attr is not None:
             self.attr[attr] = self.attr.get(attr, 0) + cycles
 
+    def charge(self, cycles: int, attr: Optional[str] = None) -> None:
+        """Account cycles without advancing the shared-resource clock.
+
+        Used by fault injection (``repro.chaos``): a slowed core's
+        *measured* cycles and attribution grow, but ``now`` — which
+        timestamps accesses at the shared L3/DRAM — stays in lockstep
+        with the round-robin interleave.  Advancing the clock instead
+        would park phantom far-future reservations on the shared
+        channel and stall the *healthy* cores behind them, inverting
+        the fault.
+        """
+        self.stats.total_cycles += cycles
+        if attr is not None:
+            self.attr[attr] = self.attr.get(attr, 0) + cycles
+
     # ------------------------------------------------------------------
     # cache path (physically addressed)
     # ------------------------------------------------------------------

@@ -14,7 +14,8 @@ import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Optional, Tuple
 
-from ..errors import ConfigError
+from ..chaos.schedule import parse_fault
+from ..errors import ConfigError, FaultInjectionError
 from ..params import SCALED_MACHINE, MachineParams, machine_from_dict
 
 PROGRAMS = ("redis", "unordered_map", "dense_hash_map", "ordered_map", "btree")
@@ -81,6 +82,34 @@ class RunConfig:
     #: open loop only: requests to simulate; None -> one measured
     #: closed-loop window (num_cores x measure_ops)
     service_requests: Optional[int] = None
+    #: chaos: probability that an adverse OS event (page migration,
+    #: record realloc, context switch, unmap/remap, STLTresize) fires
+    #: in any (operation, core) slot; 0 disables churn — the engine
+    #: then never constructs an injector (bit-identity pinned by the
+    #: golden tests)
+    churn_rate: float = 0.0
+    #: chaos: per-core performance faults in the repro.chaos grammar,
+    #: e.g. "slowdown:core=1,factor=4" or "stall:core=0,cycles=300"
+    #: with optional "start=0.25,stop=0.75" windows; parsed (and
+    #: rejected) eagerly at config time
+    fault_plan: Tuple[str, ...] = ()
+    #: mitigation: client-side timeout as a multiple of the mean
+    #: measured service time; None disables timeouts (and with them
+    #: retries)
+    svc_timeout: Optional[float] = None
+    #: mitigation: bounded retries after a timeout (no-op without
+    #: ``svc_timeout``); the final attempt always runs to completion,
+    #: so no request is ever lost
+    svc_retries: int = 0
+    #: mitigation: timeout multiplier per retry (exponential backoff)
+    svc_backoff: float = 2.0
+    #: mitigation: hedge delay as a multiple of the mean service time —
+    #: a second copy of a still-queued request is dispatched to the
+    #: least-loaded other core after this long; None disables hedging
+    svc_hedge: Optional[float] = None
+    #: mitigation: SLO-aware fallback — arrivals route around cores
+    #: whose backlog exceeds the fleet's by the fallback threshold
+    svc_fallback: bool = False
     seed: int = 1
     #: the ratio-preserving scaled machine (params.scaled_machine); pass
     #: params.DEFAULT_MACHINE for the literal Table III configuration
@@ -110,6 +139,22 @@ class RunConfig:
         for name in self.prefetchers:
             if name not in ("stream", "vldp", "tlb_distance"):
                 raise ConfigError(f"unknown prefetcher {name!r}")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ConfigError("churn rate must be within [0, 1]")
+        for spec in self.fault_plan:
+            fault = parse_fault(spec)  # typos fail at config time
+            if fault.core >= self.num_cores:
+                raise FaultInjectionError(
+                    f"fault {spec!r} targets core {fault.core} but the "
+                    f"run has {self.num_cores} core(s)")
+        if self.svc_timeout is not None and self.svc_timeout <= 0:
+            raise ConfigError("service timeout must be positive")
+        if self.svc_retries < 0:
+            raise ConfigError("service retries cannot be negative")
+        if self.svc_backoff < 1.0:
+            raise ConfigError("service backoff multiplier must be >= 1")
+        if self.svc_hedge is not None and self.svc_hedge <= 0:
+            raise ConfigError("service hedge delay must be positive")
 
     # -- derived defaults -------------------------------------------------
 
@@ -143,6 +188,18 @@ class RunConfig:
         return self.num_cores * self.measure_ops
 
     @property
+    def chaos_enabled(self) -> bool:
+        """Whether this run constructs a chaos injector at all."""
+        return self.churn_rate > 0.0 or bool(self.fault_plan)
+
+    @property
+    def mitigation_enabled(self) -> bool:
+        """Whether the open-loop service layer runs resilience logic."""
+        return (self.svc_timeout is not None
+                or self.svc_hedge is not None
+                or self.svc_fallback)
+
+    @property
     def slow_hash(self) -> str:
         """Redis hashes with SipHash; the kernels default to Murmur."""
         return "siphash" if self.program == "redis" else "murmur"
@@ -158,6 +215,7 @@ class RunConfig:
         JSON round trip of itself."""
         data = asdict(self)
         data["prefetchers"] = list(data["prefetchers"])
+        data["fault_plan"] = list(data["fault_plan"])
         return data
 
     @classmethod
@@ -171,6 +229,8 @@ class RunConfig:
         kwargs = dict(data)
         if "prefetchers" in kwargs:
             kwargs["prefetchers"] = tuple(kwargs["prefetchers"])
+        if "fault_plan" in kwargs:
+            kwargs["fault_plan"] = tuple(kwargs["fault_plan"])
         if "machine" in kwargs and isinstance(kwargs["machine"], dict):
             kwargs["machine"] = machine_from_dict(kwargs["machine"])
         return cls(**kwargs)
@@ -199,6 +259,12 @@ class RunConfig:
             base = f"{base}@{self.arrival_process}-{self.offered_load:g}"
             if self.dispatch_policy != "round_robin":
                 base = f"{base}-{self.dispatch_policy}"
+        if self.churn_rate > 0.0:
+            base = f"{base}~churn{self.churn_rate:g}"
+        if self.fault_plan:
+            base = f"{base}~fault{len(self.fault_plan)}"
+        if self.mitigation_enabled:
+            base = f"{base}+mit"
         return base
 
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..chaos.oracle import StaleTranslationOracle
+from ..chaos.report import build_chaos_report
 from ..core.ipb import IPB
 from ..core.os_interface import OSInterface
 from ..core.stlt import STLT
@@ -84,6 +86,12 @@ class Engine:
         #: compatibility aliases: core 0's view
         self.frontend = self.frontends[0]
         self.stu = self.stus[0]
+        #: always-on stale-translation oracle: every GET is cross-checked
+        #: against the authoritative record store (untimed — checked and
+        #: unchecked runs are cycle-identical); a wrong or torn read
+        #: raises CoherenceError instead of skewing numbers
+        self.oracle = StaleTranslationOracle(self.ctx.records,
+                                             self.ctx.space)
         if config.prefill:
             self._prefill_fast_tables()
 
@@ -216,7 +224,8 @@ class Engine:
         from .multicore import MultiCoreEngine  # avoid an import cycle
 
         open_loop = self.config.arrival_process != "closed"
-        outcome = MultiCoreEngine(self, capture_op_cycles=open_loop).run()
+        mc = MultiCoreEngine(self, capture_op_cycles=open_loop)
+        outcome = mc.run()
         result = outcome.per_core[0] if self.config.num_cores == 1 \
             else outcome.aggregate
         if open_loop:
@@ -225,6 +234,8 @@ class Engine:
                 self.config, outcome.op_cycles,
                 closed_loop_throughput=result.throughput)
             result.service = service.to_dict()
+        if mc.injector is not None:
+            result.chaos = build_chaos_report(self, mc.injector)
         return result
 
     # ------------------------------------------------------------------
@@ -234,11 +245,15 @@ class Engine:
     def do_get(self, core_id: int, key_id: int) -> None:
         key = key_bytes(key_id)
         frontend = self.frontends[core_id]
+        fast_hits_before = frontend.fast_hits
         if self.redis is not None:
             self.redis.begin_command()
             record = frontend.get(key)
             if record is None:
                 raise KVSError(f"GET lost key id {key_id}")
+            self.oracle.check_get(
+                key, record,
+                fast_hit=frontend.fast_hits > fast_hits_before)
             self.ctx.records.access_value(record)
             self.redis.end_command(record.value_size)
             self.redis.gets += 1
@@ -246,6 +261,9 @@ class Engine:
             record = frontend.get(key)
             if record is None:
                 raise KVSError(f"GET lost key id {key_id}")
+            self.oracle.check_get(
+                key, record,
+                fast_hit=frontend.fast_hits > fast_hits_before)
             self.ctx.records.access_value(record)
 
     def do_set(self, core_id: int, key_id: int, value_size: int) -> None:

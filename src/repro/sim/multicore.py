@@ -128,6 +128,12 @@ class MultiCoreEngine:
         #: observation of the per-core cycle counter: simulated cycles
         #: are bit-identical either way)
         self.capture_op_cycles = capture_op_cycles
+        #: the chaos injector, only when the config asks for adversity;
+        #: a quiet config leaves the loop untouched (golden bit-identity)
+        self.injector = None
+        if self.config.chaos_enabled:
+            from ..chaos.injector import ChaosInjector
+            self.injector = ChaosInjector(engine)
 
     def _streams(self, spec: WorkloadSpec) -> List[List]:
         """Materialise each core's operation stream up front.
@@ -161,6 +167,8 @@ class MultiCoreEngine:
         states = [_CoreRunState(engine, core_id) for core_id in range(n)]
 
         capture = self.capture_op_cycles
+        injector = self.injector
+        faulted = injector is not None and injector.has_faults
 
         for i in range(config.total_ops):
             measured = i >= warmup
@@ -169,7 +177,7 @@ class MultiCoreEngine:
                 state = states[core_id]
                 if i == warmup:
                     state.mark()
-                if capture and measured:
+                if faulted or (capture and measured):
                     cycles_before = state.mem.stats.total_cycles
                 op, key_id = streams[core_id][i]
                 if op is Operation.GET:
@@ -178,9 +186,26 @@ class MultiCoreEngine:
                 else:
                     engine.do_set(core_id, key_id, spec.value_size)
                     state.sets += 1
+                if faulted:
+                    # per-core performance faults: charge the plan's
+                    # extra cycles before the capture below, so the
+                    # open-loop service layer sees the slow core.
+                    # charge(), not tick(): the contention clock stays
+                    # in lockstep with the interleave
+                    extra = injector.fault_cycles(
+                        core_id, i,
+                        state.mem.stats.total_cycles - cycles_before)
+                    if extra:
+                        state.mem.charge(extra, attr="fault")
                 if capture and measured:
                     state.op_cycles.append(
                         state.mem.stats.total_cycles - cycles_before)
+                if injector is not None:
+                    # OS churn fires *between* operations: the event's
+                    # timed side effects (shootdowns, scrubs, protocol
+                    # refreshes) land on the active core but outside
+                    # the per-op service capture
+                    injector.after_op(core_id, i)
 
         per_core = [state.finish(n) for state in states]
         op_cycles = [state.op_cycles for state in states] if capture \

@@ -51,6 +51,10 @@ class RunResult:
     #: latency percentiles, offered vs achieved throughput, per-core
     #: queue statistics, and the full latency histogram)
     service: Optional[dict] = None
+    #: chaos runs only: churn/fault telemetry and the oracle verdict
+    #: (:func:`repro.chaos.report.build_chaos_report` — injector event
+    #: counters, IPB/scrub statistics, zero-violation oracle verdict)
+    chaos: Optional[dict] = None
 
     @property
     def cycles_per_op(self) -> float:

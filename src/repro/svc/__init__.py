@@ -34,7 +34,13 @@ from .dispatch import (
     make_dispatcher,
 )
 from .histogram import LatencyHistogram
-from .service import ServiceResult, service_from_config, simulate_service
+from .service import (
+    Mitigation,
+    ServiceResult,
+    mitigation_from_config,
+    service_from_config,
+    simulate_service,
+)
 
 __all__ = [
     "ARRIVAL_PROCESSES",
@@ -47,6 +53,8 @@ __all__ = [
     "ServiceResult",
     "make_arrivals",
     "make_dispatcher",
+    "Mitigation",
+    "mitigation_from_config",
     "service_from_config",
     "simulate_service",
 ]

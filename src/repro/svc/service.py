@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import asdict, dataclass, fields
-from typing import Deque, Dict, List, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, ReproError
 from ..hashes.registry import get_hash
@@ -42,12 +42,81 @@ from .arrival import make_arrivals
 from .dispatch import Dispatcher, make_dispatcher
 from .histogram import DEFAULT_PRECISION, LatencyHistogram
 
-__all__ = ["ServiceResult", "simulate_service", "service_from_config"]
+__all__ = ["Mitigation", "ServiceResult", "mitigation_from_config",
+           "simulate_service", "service_from_config"]
 
 #: seed salts keeping the service layer's random streams independent of
 #: the workload generator's (which uses ``seed`` and ``seed ^ 0x5EED``)
 _ARRIVAL_SALT = 0xA221
 _KEYSTREAM_SALT = 0x5E12
+
+
+@dataclass(frozen=True)
+class Mitigation:
+    """Graceful-degradation knobs for the open-loop service model.
+
+    All delays are in *cycles* (``service_from_config`` derives them
+    from the config's mean-service-time multiples).  The whole policy
+    is a pure function of the queue state, so a mitigated run is
+    deterministic per seed — no extra randomness enters the model.
+
+    * **timeout + bounded retry** — a client abandons an attempt whose
+      queueing delay would exceed the attempt's budget
+      (``timeout_cycles x backoff^attempt``) and re-dispatches to the
+      currently least-backlogged core.  An abandoned attempt consumes
+      *no* server cycles (the server skips dead requests at the queue
+      head); the final attempt always runs to completion, so no
+      request is ever lost.
+    * **hedging** — a request still queued ``hedge_cycles`` after its
+      dispatch gets a second copy on the least-loaded *other* core;
+      both copies consume server time (the classic no-cancellation
+      hedge) and the client takes the first completion.
+    * **SLO-aware fallback** — at dispatch time, a request whose
+      predicted wait on the picked core exceeds ``slo_cycles`` is
+      rerouted to the least-backlogged core, routing around a
+      slowed/failed core before any time is lost.
+    """
+
+    timeout_cycles: Optional[float] = None
+    retries: int = 0
+    backoff: float = 2.0
+    hedge_cycles: Optional[float] = None
+    fallback: bool = False
+    #: predicted-wait budget the fallback reroutes around; required
+    #: when ``fallback`` is set
+    slo_cycles: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_cycles is not None and self.timeout_cycles <= 0:
+            raise ConfigError("timeout must be positive")
+        if self.retries < 0:
+            raise ConfigError("retries cannot be negative")
+        if self.backoff < 1.0:
+            raise ConfigError("backoff multiplier must be >= 1")
+        if self.hedge_cycles is not None and self.hedge_cycles <= 0:
+            raise ConfigError("hedge delay must be positive")
+        if self.fallback and self.slo_cycles is None:
+            raise ConfigError("fallback needs an slo_cycles budget")
+        if self.slo_cycles is not None and self.slo_cycles < 0:
+            raise ConfigError("SLO budget cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        return (self.timeout_cycles is not None
+                or self.hedge_cycles is not None
+                or self.fallback)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Mitigation":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"unknown Mitigation field(s): {sorted(unknown)!r}")
+        return cls(**data)
 
 
 @dataclass
@@ -80,6 +149,19 @@ class ServiceResult:
     #: per-core queue statistics: requests, busy_fraction,
     #: max_queue_depth, mean_queue_depth
     per_core: List[dict]
+    #: the active :class:`Mitigation` as a plain dict; None when the
+    #: run had no resilience logic (the legacy fast path)
+    mitigation: Optional[dict] = None
+    #: attempts abandoned on timeout (each one also counts a retry)
+    timeouts: int = 0
+    #: re-dispatches after a timeout
+    retries: int = 0
+    #: hedged (duplicated) requests issued
+    hedges: int = 0
+    #: hedges whose second copy finished first
+    hedge_wins: int = 0
+    #: requests rerouted by the SLO-aware fallback at dispatch time
+    fallbacks: int = 0
 
     @property
     def num_cores(self) -> int:
@@ -125,6 +207,7 @@ def simulate_service(
     arrival_rate: float,
     closed_loop_throughput: float,
     precision: int = DEFAULT_PRECISION,
+    mitigation: Optional[Mitigation] = None,
 ) -> ServiceResult:
     """Run the open-loop queueing simulation.
 
@@ -133,6 +216,11 @@ def simulate_service(
     len`` of it, so service-time autocorrelation (cache warm-up runs,
     unlucky STLT conflict bursts) survives into the queueing model
     instead of being averaged away.
+
+    With an enabled ``mitigation`` the run goes through the resilient
+    dispatch loop (timeout/retry, hedging, SLO fallback); without one,
+    the legacy loop below runs verbatim — existing timelines are
+    pinned by the determinism tests.
     """
     n = dispatcher.num_cores
     if len(service_cycles) != n:
@@ -146,6 +234,14 @@ def simulate_service(
         raise ConfigError("need at least one request")
     if any(b < a for a, b in zip(arrivals, arrivals[1:])):
         raise ConfigError("arrival times must be non-decreasing")
+
+    if mitigation is not None and mitigation.enabled:
+        return _simulate_resilient(
+            service_cycles, arrivals, key_ids, dispatcher, mitigation,
+            process=process, offered_load=offered_load,
+            arrival_rate=arrival_rate,
+            closed_loop_throughput=closed_loop_throughput,
+            precision=precision)
 
     free_at = [0.0] * n
     in_flight: List[Deque[float]] = [deque() for _ in range(n)]
@@ -220,6 +316,192 @@ def simulate_service(
     )
 
 
+def _simulate_resilient(
+    service_cycles: Sequence[Sequence[int]],
+    arrivals: Sequence[float],
+    key_ids: Sequence[int],
+    dispatcher: Dispatcher,
+    mitigation: Mitigation,
+    *,
+    process: str,
+    offered_load: float,
+    arrival_rate: float,
+    closed_loop_throughput: float,
+    precision: int,
+) -> ServiceResult:
+    """The mitigated dispatch loop (see :class:`Mitigation`).
+
+    Everything is a pure function of the queue state (per-core
+    ``free_at`` backlogs), so the timeline is deterministic per seed.
+    A timed-out attempt never touches the server: the abandonment
+    condition (predicted wait exceeds the attempt's budget) is exactly
+    "the server would reach this request after the client quit", so
+    skipping the enqueue is equivalent to the server discarding a dead
+    request at the queue head — no clairvoyance involved.
+    """
+    n = dispatcher.num_cores
+    m = mitigation
+    free_at = [0.0] * n
+    in_flight: List[Deque[float]] = [deque() for _ in range(n)]
+    served = [0] * n
+    busy = [0.0] * n
+    depth_sum = [0] * n
+    depth_max = [0] * n
+    histogram = LatencyHistogram(precision=precision)
+    total_latency = 0.0
+    total_queue_delay = 0.0
+    last_completion = 0.0
+    timeouts = retries = hedges = hedge_wins = fallbacks = 0
+
+    def serve(core: int, at: float) -> "tuple[float, float, int]":
+        """Charge one service on ``core`` starting no earlier than ``at``."""
+        nonlocal last_completion
+        sequence = service_cycles[core]
+        service = sequence[served[core] % len(sequence)]
+        served[core] += 1
+        start = at if at > free_at[core] else free_at[core]
+        completion = start + service
+        free_at[core] = completion  # per-core completions stay sorted
+        in_flight[core].append(completion)
+        if len(in_flight[core]) > depth_max[core]:
+            depth_max[core] = len(in_flight[core])
+        busy[core] += service
+        if completion > last_completion:
+            last_completion = completion
+        return start, completion, service
+
+    def least_backlogged(exclude: int = -1) -> int:
+        choice, best = -1, None
+        for core in range(n):
+            if core == exclude:
+                continue
+            if best is None or free_at[core] < best:
+                choice, best = core, free_at[core]
+        return choice
+
+    depths = [0] * n
+    for index, (arrival, key_id) in enumerate(zip(arrivals, key_ids)):
+        for core in range(n):
+            queue = in_flight[core]
+            while queue and queue[0] <= arrival:
+                queue.popleft()
+            depths[core] = len(queue)
+            depth_sum[core] += len(queue)
+
+        core = dispatcher.pick(index, key_id, depths)
+        if not 0 <= core < n:
+            raise ReproError(
+                f"dispatcher {dispatcher.name!r} picked core {core} "
+                f"of {n}")
+
+        # SLO-aware fallback: a request predicted to blow its budget
+        # on the picked core reroutes to the healthiest core up front
+        if m.fallback and n > 1:
+            alt = least_backlogged(exclude=core)
+            if (free_at[core] - arrival > m.slo_cycles
+                    and free_at[alt] < free_at[core]):
+                core = alt
+                fallbacks += 1
+
+        # timeout + bounded retry with exponential backoff; the final
+        # attempt always enqueues, so no request is ever dropped
+        t = arrival
+        attempts = (m.retries + 1) if m.timeout_cycles is not None else 1
+        for attempt in range(attempts):
+            if attempt == attempts - 1:
+                break
+            budget = m.timeout_cycles * (m.backoff ** attempt)
+            if free_at[core] - t <= budget:
+                break
+            t += budget  # client waited the budget out, then quit
+            timeouts += 1
+            retries += 1
+            core = least_backlogged()
+
+        start, completion, service = serve(core, t)
+
+        # hedge: still queued after the hedge delay -> duplicate to
+        # the least-loaded other core; first completion wins, both
+        # copies consume server time (no cancellation)
+        if (m.hedge_cycles is not None and n > 1
+                and start - t > m.hedge_cycles):
+            alt = least_backlogged(exclude=core)
+            hedges += 1
+            _, alt_completion, alt_service = serve(alt, t + m.hedge_cycles)
+            if alt_completion < completion:
+                hedge_wins += 1
+                completion, service = alt_completion, alt_service
+
+        latency = completion - arrival
+        histogram.record(latency)
+        total_latency += latency
+        total_queue_delay += latency - service
+
+    requests = len(arrivals)
+    makespan = last_completion
+    per_core = [
+        {
+            "core": core,
+            "requests": served[core],
+            "busy_fraction": busy[core] / makespan if makespan else 0.0,
+            "max_queue_depth": depth_max[core],
+            "mean_queue_depth": depth_sum[core] / requests,
+        }
+        for core in range(n)
+    ]
+    return ServiceResult(
+        process=process,
+        dispatch=dispatcher.name,
+        offered_load=offered_load,
+        arrival_rate=arrival_rate,
+        closed_loop_throughput=closed_loop_throughput,
+        requests=requests,
+        makespan=makespan,
+        achieved_throughput=requests / makespan if makespan else 0.0,
+        mean_latency=total_latency / requests,
+        mean_queue_delay=total_queue_delay / requests,
+        latency=histogram.percentiles(),
+        histogram=histogram.to_dict(),
+        per_core=per_core,
+        mitigation=m.to_dict(),
+        timeouts=timeouts,
+        retries=retries,
+        hedges=hedges,
+        hedge_wins=hedge_wins,
+        fallbacks=fallbacks,
+    )
+
+
+def mitigation_from_config(config,
+                           mean_service: float) -> Optional[Mitigation]:
+    """Build the :class:`Mitigation` a config asks for, or ``None``.
+
+    The config expresses delays as *multiples of the mean measured
+    service time* (machine-independent); this converts them to cycles.
+    The fallback's SLO budget reuses the timeout (or hedge) budget when
+    one is set, else defaults to four mean service times.
+    """
+    if not config.mitigation_enabled:
+        return None
+    timeout = (config.svc_timeout * mean_service
+               if config.svc_timeout is not None else None)
+    hedge = (config.svc_hedge * mean_service
+             if config.svc_hedge is not None else None)
+    slo = None
+    if config.svc_fallback:
+        slo = timeout if timeout is not None else hedge
+        if slo is None:
+            slo = 4.0 * mean_service
+    return Mitigation(
+        timeout_cycles=timeout,
+        retries=config.svc_retries,
+        backoff=config.svc_backoff,
+        hedge_cycles=hedge,
+        fallback=config.svc_fallback,
+        slo_cycles=slo,
+    )
+
+
 def service_from_config(config, service_cycles: Sequence[Sequence[int]],
                         closed_loop_throughput: float) -> ServiceResult:
     """Drive :func:`simulate_service` from a ``RunConfig``.
@@ -248,10 +530,14 @@ def service_from_config(config, service_cycles: Sequence[Sequence[int]],
 
     dispatcher = make_dispatcher(config.dispatch_policy, config.num_cores,
                                  key_hash=key_hash)
+    ops = sum(len(seq) for seq in service_cycles)
+    mean_service = (
+        sum(sum(seq) for seq in service_cycles) / ops if ops else 0.0)
     return simulate_service(
         service_cycles, arrivals, key_ids, dispatcher,
         process=config.arrival_process,
         offered_load=config.offered_load,
         arrival_rate=rate,
         closed_loop_throughput=closed_loop_throughput,
+        mitigation=mitigation_from_config(config, mean_service),
     )

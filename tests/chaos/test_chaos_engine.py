@@ -1,0 +1,140 @@
+"""End-to-end chaos runs through the real engine.
+
+Small multi-core runs with churn and fault plans: the oracle stays
+green, telemetry lands in ``RunResult.chaos``, the event schedule is a
+pure function of the seed (independent of front-end), and per-core
+faults hurt only their target core.
+"""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.sim.config import RunConfig
+from repro.sim.engine import run_experiment
+
+SMALL = dict(program="unordered_map", num_keys=400, measure_ops=150,
+             warmup_ops=150, num_cores=2, seed=42)
+
+
+def chaos_run(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return run_experiment(RunConfig(**params))
+
+
+class TestQuietRuns:
+    def test_no_chaos_payload_when_disabled(self):
+        result = chaos_run(frontend="stlt")
+        assert result.chaos is None
+
+    def test_config_flags(self):
+        quiet = RunConfig(**SMALL)
+        assert not quiet.chaos_enabled
+        churny = RunConfig(churn_rate=0.05, **SMALL)
+        assert churny.chaos_enabled
+        faulty = RunConfig(fault_plan=("stall:core=0,cycles=50",), **SMALL)
+        assert faulty.chaos_enabled
+
+    def test_label_carries_chaos_suffix(self):
+        assert "~churn0.05" in RunConfig(churn_rate=0.05, **SMALL).label
+        assert "~fault1" in RunConfig(
+            fault_plan=("stall:core=0,cycles=50",), **SMALL).label
+
+    def test_fault_targeting_missing_core_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            RunConfig(fault_plan=("slowdown:core=5,factor=2",), **SMALL)
+
+    def test_garbage_fault_spec_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            RunConfig(fault_plan=("meteor:core=0",), **SMALL)
+
+
+class TestChurnRuns:
+    def test_oracle_green_and_telemetry_present(self):
+        result = chaos_run(frontend="stlt", churn_rate=0.05)
+        chaos = result.chaos
+        assert chaos is not None
+        assert chaos["churn_rate"] == 0.05
+        assert chaos["oracle"]["checks"] > 0
+        assert chaos["oracle"]["violations"] == 0
+        assert sum(chaos["events"].values()) > 0
+        assert chaos["pages_migrated"] > 0
+        # coherence machinery observability rides along
+        assert "ipb" in chaos
+        assert chaos["ipb"]["inserts"] > 0
+        assert chaos["ipb_overflows"] >= 0
+
+    def test_churn_costs_cycles_never_correctness(self):
+        quiet = chaos_run(frontend="stlt")
+        churny = chaos_run(frontend="stlt", churn_rate=0.05)
+        assert churny.cycles > quiet.cycles
+        assert churny.ops == quiet.ops
+        assert churny.chaos["oracle"]["violations"] == 0
+
+    def test_deterministic_replay(self):
+        a = chaos_run(frontend="stlt", churn_rate=0.05)
+        b = chaos_run(frontend="stlt", churn_rate=0.05)
+        assert a.to_dict() == b.to_dict()
+
+    def test_seed_changes_event_stream(self):
+        a = chaos_run(frontend="stlt", churn_rate=0.05)
+        b = chaos_run(frontend="stlt", churn_rate=0.05, seed=43)
+        assert a.chaos["events"] != b.chaos["events"] or \
+            a.cycles != b.cycles
+
+    def test_schedule_independent_of_frontend(self):
+        """Same seed, same churn: the same events fire at the same
+        slots whichever front-end runs — only applicability differs
+        (a baseline run has no STLT to resize/context-switch)."""
+        stlt = chaos_run(frontend="stlt", churn_rate=0.05)
+        base = chaos_run(frontend="baseline", churn_rate=0.05)
+        fired_stlt = sum(stlt.chaos["events"].values()) + \
+            stlt.chaos["events_skipped"]
+        fired_base = sum(base.chaos["events"].values()) + \
+            base.chaos["events_skipped"]
+        assert fired_stlt == fired_base
+
+    def test_baseline_has_no_ipb_telemetry(self):
+        base = chaos_run(frontend="baseline", churn_rate=0.05)
+        assert base.chaos["ipb"] is None
+        assert base.chaos["ipb_overflows"] == 0
+
+
+class TestFaultRuns:
+    def test_fault_slows_only_target_core(self):
+        healthy = chaos_run(frontend="stlt")
+        faulted = chaos_run(frontend="stlt",
+                            fault_plan=("slowdown:core=1,factor=4",))
+        h_cores = healthy.per_core_results()
+        f_cores = faulted.per_core_results()
+        # the healthy core is bit-identical: fault cycles are charged to
+        # the target core only and never advance the shared-memory clock
+        assert f_cores[0].cycles == h_cores[0].cycles
+        assert f_cores[1].cycles > h_cores[1].cycles
+        assert faulted.chaos["fault_cycles_charged"] > 0
+        assert faulted.per_core_results()[1].attr.get("fault", 0) > 0
+
+    def test_stall_window_bounds_charge(self):
+        full = chaos_run(frontend="stlt",
+                         fault_plan=("stall:core=0,cycles=100",))
+        half = chaos_run(frontend="stlt",
+                         fault_plan=
+                         ("stall:core=0,cycles=100,start=0.0,stop=0.5",))
+        assert 0 < half.chaos["fault_cycles_charged"] < \
+            full.chaos["fault_cycles_charged"]
+
+    def test_faults_compose_with_churn(self):
+        result = chaos_run(frontend="stlt", churn_rate=0.02,
+                           fault_plan=("stall:core=0,cycles=50",))
+        assert result.chaos["oracle"]["violations"] == 0
+        assert result.chaos["fault_cycles_charged"] > 0
+        assert result.chaos["fault_plan"] == ["stall:core=0,cycles=50"]
+
+
+class TestRoundTrip:
+    def test_chaos_payload_survives_serialisation(self):
+        from repro.sim.results import RunResult
+
+        result = chaos_run(frontend="stlt", churn_rate=0.05)
+        back = RunResult.from_dict(result.to_dict())
+        assert back.chaos == result.chaos

@@ -1,0 +1,100 @@
+"""Stale-translation oracle unit tests.
+
+Each test manufactures one specific lie — a dead record, a lookalike, a
+wrong-key survivor, a fast hit on an unmapped page — and asserts the
+oracle catches exactly that lie (and nothing on honest GETs).
+"""
+
+import pytest
+
+from repro.chaos import StaleTranslationOracle
+from repro.errors import CoherenceError
+from repro.kvs.records import RecordStore
+from repro.mem.address_space import AddressSpace
+from repro.mem.allocator import BumpAllocator
+from repro.mem.hierarchy import MemorySystem
+from repro.params import DEFAULT_MACHINE
+
+
+@pytest.fixture
+def rig():
+    space = AddressSpace()
+    mem = MemorySystem(space, DEFAULT_MACHINE)
+    records = RecordStore(alloc=BumpAllocator(space), mem=mem)
+    oracle = StaleTranslationOracle(records, space)
+    return space, records, oracle
+
+
+class TestHonestGets:
+    def test_live_record_passes(self, rig):
+        _, records, oracle = rig
+        record = records.create(b"k1", 16)
+        oracle.check_get(b"k1", record, fast_hit=False)
+        oracle.check_get(b"k1", record, fast_hit=True)
+        assert oracle.checks == 2
+        assert oracle.fast_checks == 1
+        assert oracle.violations == 0
+
+    def test_lost_key_is_not_a_violation(self, rig):
+        _, _, oracle = rig
+        oracle.check_get(b"gone", None, fast_hit=False)
+        assert oracle.checks == 1
+        assert oracle.violations == 0
+
+    def test_moved_record_still_passes(self, rig):
+        # move() re-registers the record at its new VA; the oracle must
+        # track the authoritative store, not remember old addresses
+        _, records, oracle = rig
+        record = records.create(b"k2", 16)
+        records.move(record)
+        oracle.check_get(b"k2", record, fast_hit=True)
+        assert oracle.violations == 0
+
+
+class TestLies:
+    def test_dead_record_caught(self, rig):
+        _, records, oracle = rig
+        record = records.create(b"k3", 16)
+        records.destroy(record)
+        with pytest.raises(CoherenceError):
+            oracle.check_get(b"k3", record, fast_hit=False)
+        assert oracle.violations == 1
+
+    def test_lookalike_record_caught(self, rig):
+        # identity, not equality: a reconstructed twin at the same VA is
+        # still a torn read
+        _, records, oracle = rig
+        record = records.create(b"k4", 16)
+        twin = type(record)(va=record.va, key=record.key,
+                            value_size=record.value_size)
+        with pytest.raises(CoherenceError):
+            oracle.check_get(b"k4", twin, fast_hit=False)
+        assert oracle.violations == 1
+
+    def test_wrong_key_caught(self, rig):
+        # a stale VA that semantic validation matched against the wrong
+        # live record
+        _, records, oracle = rig
+        record = records.create(b"other", 16)
+        with pytest.raises(CoherenceError):
+            oracle.check_get(b"wanted", record, fast_hit=False)
+        assert oracle.violations == 1
+
+    def test_fast_hit_on_unmapped_page_caught(self, rig):
+        space, records, oracle = rig
+        record = records.create(b"k5", 16)
+        space.unmap_page(record.va)
+        # the slow path never trusted a cached translation: fine
+        oracle.check_get(b"k5", record, fast_hit=False)
+        assert oracle.violations == 0
+        # the fast path claims it *translated* this VA: a lie
+        with pytest.raises(CoherenceError):
+            oracle.check_get(b"k5", record, fast_hit=True)
+        assert oracle.violations == 1
+
+    def test_to_dict_shape(self, rig):
+        _, records, oracle = rig
+        record = records.create(b"k6", 16)
+        oracle.check_get(b"k6", record, fast_hit=True)
+        assert oracle.to_dict() == {
+            "checks": 1, "fast_checks": 1, "violations": 0}

@@ -1,0 +1,142 @@
+"""Property-based coherence check (hypothesis).
+
+Drives the real STU / IPB / OSInterface machinery with arbitrary
+interleavings of inserts, page migrations, unmap/remap pairs, context
+switches and table resizes, and asserts the invariant the
+:class:`repro.chaos.oracle.StaleTranslationOracle` polices at run time:
+
+    a ``loadVA`` fast-path **hit** never returns a VA whose page is
+    listed in the IPB or is currently unmapped.
+
+The paper's lazy-coherence argument (Section III-D1) is exactly that
+this holds under *any* schedule of invalidations — inserts race against
+migrations, the IPB overflows mid-sequence, resizes restart the table
+cold — so the test samples that schedule space rather than enumerating
+scenarios by hand.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.os_interface import OSInterface
+from repro.core.stu import STU
+from repro.errors import AddressError
+from repro.mem.address_space import AddressSpace
+from repro.mem.allocator import BumpAllocator
+from repro.mem.hierarchy import MemorySystem
+from repro.params import DEFAULT_MACHINE
+
+RECORD_POOL = 16
+PAGE_POOL = 8
+STLT_ROWS = 64
+
+OP_KINDS = ("insert", "migrate", "unmap", "remap", "ctx_switch", "resize")
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(OP_KINDS),
+        st.integers(0, (1 << 30) - 1),   # integer key (insert)
+        st.integers(0, 255),             # pool index selector
+    ),
+    max_size=60,
+)
+
+
+def _build_rig():
+    space = AddressSpace()
+    mem = MemorySystem(space, DEFAULT_MACHINE)
+    stu = STU(mem)
+    osi = OSInterface(space, mem, stu)
+    osi.stlt_alloc(STLT_ROWS, ways=4)
+    alloc = BumpAllocator(space)
+    records = [alloc.alloc(64) for _ in range(RECORD_POOL)]
+    pages = [space.alloc_region(4096) for _ in range(PAGE_POOL)]
+    return space, stu, osi, records, pages
+
+
+def _assert_invariant(space, stu, inserted):
+    """Probe every inserted integer; hits must be coherent."""
+    for integer in inserted:
+        result = stu.load_va(integer)
+        if result.missed:
+            continue
+        vpn = result.va >> 12
+        # a hit must never surface a page the kernel has flagged ...
+        assert vpn not in stu.ipb._buf, (
+            f"fast-path hit returned VA {result.va:#x} whose page is "
+            f"in the IPB")
+        # ... nor one that is currently unmapped
+        assert space.translate(result.va) is not None, (
+            f"fast-path hit returned VA {result.va:#x} whose page is "
+            f"unmapped")
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations)
+def test_fast_hit_never_stale(ops):
+    space, stu, osi, records, pages = _build_rig()
+    page_mapped = [True] * PAGE_POOL
+    inserted = set()
+
+    for kind, integer, idx in ops:
+        if kind == "insert":
+            va = records[idx % RECORD_POOL]
+            stu.insert_stlt(integer, va)
+            inserted.add(integer)
+        elif kind == "migrate":
+            va = records[idx % RECORD_POOL]
+            space.migrate_page(va)
+        elif kind == "unmap":
+            i = idx % PAGE_POOL
+            if page_mapped[i]:
+                space.unmap_page(pages[i])
+                page_mapped[i] = False
+        elif kind == "remap":
+            i = idx % PAGE_POOL
+            if not page_mapped[i]:
+                space.remap_page(pages[i])
+                page_mapped[i] = True
+        elif kind == "ctx_switch":
+            # out + in as an atomic pair: the process only ever issues
+            # loadVA while scheduled, i.e. after the replay restored the
+            # IPB from the kernel array
+            osi.context_switch_out()
+            osi.context_switch_in()
+        else:  # resize
+            osi.stlt_resize(STLT_ROWS)
+        _assert_invariant(space, stu, inserted)
+
+    _assert_invariant(space, stu, inserted)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations)
+def test_record_pages_survive_migration_storms(ops):
+    """Migrating a record's page never makes its VA untranslatable.
+
+    ``migrate_page`` models compaction — the page moves to a new frame
+    but stays mapped — so record loads must keep working even while the
+    STLT's cached rows for that page are being invalidated.
+    """
+    space, stu, osi, records, pages = _build_rig()
+    for kind, integer, idx in ops:
+        if kind == "insert":
+            stu.insert_stlt(integer, records[idx % RECORD_POOL])
+        elif kind == "migrate":
+            space.migrate_page(records[idx % RECORD_POOL])
+        elif kind == "resize":
+            osi.stlt_resize(STLT_ROWS)
+        # (unmap/remap/ctx_switch irrelevant for this property)
+        for va in records:
+            assert space.translate(va) is not None
+
+
+def test_remap_of_mapped_page_rejected():
+    space = AddressSpace()
+    va = space.alloc_region(4096)
+    try:
+        space.remap_page(va)
+    except AddressError:
+        pass
+    else:
+        raise AssertionError("remap_page of a mapped page must fail")

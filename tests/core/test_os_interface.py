@@ -195,3 +195,132 @@ class TestMultiCoreBroadcast:
         osi = OSInterface(space, mem, stu)
         assert osi.stus == [stu]
         assert osi.stu is stu
+
+
+class TestCoherenceInvariants:
+    """Direct invariant checks on the kernel protocol (PR 4).
+
+    These exercise :meth:`OSInterface._on_page_invalidate`, the overflow
+    scrub, context switches and ``STLTresize`` as pure state machines —
+    no workload, no timing — asserting the properties the chaos injector
+    leans on: stale vpns never survive a scrub, the kernel array and the
+    IPB stay in sync, and a resize restarts the table cold but keeps its
+    geometry.
+    """
+
+    def test_invalidate_hook_updates_array_and_ipb(self, rig):
+        space, _, stu, osi, _ = rig
+        osi.stlt_alloc(1 << 8)
+        osi._on_page_invalidate(0xAB)
+        osi._on_page_invalidate(0xCD)
+        assert osi._invalidated_vpns == [0xAB, 0xCD]
+        assert stu.ipb.contains(0xAB) and stu.ipb.contains(0xCD)
+        assert osi.scrubs == 0
+
+    def test_invalidate_without_stlt_only_scrubs_stbs(self, rig):
+        space, _, stu, osi, _ = rig
+        # no STLT allocated: the hook must not populate the IPB or the
+        # kernel array (there is no table to lazily protect)
+        osi._on_page_invalidate(0xAB)
+        assert osi._invalidated_vpns == []
+        assert len(stu.ipb) == 0
+
+    def test_overflow_scrub_conserves_row_count(self, rig):
+        space, _, stu, osi, alloc = rig
+        stlt = osi.stlt_alloc(1 << 8)
+        vas = [alloc.alloc(64) for _ in range(8)]
+        for i, va in enumerate(vas):
+            stu.insert_stlt(0x9000 + i, va)
+        before = stlt.occupancy
+        # invalidate half the hot pages, then overflow with unrelated
+        # pages so the scrub fires
+        stale_vpns = set()
+        for va in vas[:4]:
+            space.migrate_page(va)
+            stale_vpns.add(va >> 12)
+        scrubbed_before = osi.rows_scrubbed
+        for _ in range(IPB_ENTRIES + 2):
+            page = space.alloc_region(4096)
+            space.unmap_page(page)
+        assert osi.scrubs >= 1
+        delta = osi.rows_scrubbed - scrubbed_before
+        # every row the scrub claimed is actually gone from the table
+        assert stlt.occupancy == before - delta
+        assert delta >= len(stale_vpns.intersection(
+            {va >> 12 for va in vas[:4]})) and delta >= 1
+
+    def test_no_stale_vpn_survives_scrub(self, rig):
+        space, _, stu, osi, alloc = rig
+        stlt = osi.stlt_alloc(1 << 8)
+        vas = [alloc.alloc(64) for _ in range(6)]
+        for i, va in enumerate(vas):
+            stu.insert_stlt(0x5000 + i, va)
+        stale = {va >> 12 for va in vas[:3]}
+        for va in vas[:3]:
+            space.migrate_page(va)
+        for _ in range(IPB_ENTRIES + 2):
+            page = space.alloc_region(4096)
+            space.unmap_page(page)
+        assert osi.scrubs >= 1
+        # walk every row: no surviving valid row may point into a page
+        # that was invalidated before the scrub
+        for s in range(stlt.num_sets):
+            for w in range(stlt.ways):
+                row = stlt.read_row(s, w)
+                if row.valid:
+                    assert (row.va >> 12) not in stale
+
+    def test_overflow_resets_kernel_array_to_trigger_vpn(self, rig):
+        space, _, stu, osi, alloc = rig
+        osi.stlt_alloc(1 << 8)
+        pages = [space.alloc_region(4096) for _ in range(IPB_ENTRIES + 1)]
+        for page in pages[:-1]:
+            space.unmap_page(page)
+        assert stu.ipb.is_full()
+        space.unmap_page(pages[-1])  # triggers the scrub
+        # after the scrub the array holds exactly the triggering vpn,
+        # and the IPB matches it — array and IPB stay in lock step
+        assert osi._invalidated_vpns == [pages[-1] >> 12]
+        assert len(stu.ipb) == 1
+        assert stu.ipb.contains(pages[-1] >> 12)
+
+    def test_switch_out_preserves_kernel_array(self, rig):
+        space, _, stu, osi, alloc = rig
+        osi.stlt_alloc(1 << 8)
+        va = alloc.alloc(64)
+        space.migrate_page(va)
+        array_before = list(osi._invalidated_vpns)
+        osi.context_switch_out()
+        assert len(stu.ipb) == 0
+        assert osi._invalidated_vpns == array_before
+
+    def test_switch_in_replays_exactly_the_array(self, rig):
+        space, _, stu, osi, alloc = rig
+        osi.stlt_alloc(1 << 8)
+        vas = [alloc.alloc(4096) for _ in range(3)]
+        for va in vas:
+            space.migrate_page(va)
+        osi.context_switch_out()
+        osi.context_switch_in()
+        assert len(stu.ipb) == len({va >> 12 for va in vas})
+        for va in vas:
+            assert stu.ipb.contains(va >> 12)
+
+    def test_resize_preserves_geometry_and_counters(self, rig):
+        space, _, stu, osi, alloc = rig
+        old = osi.stlt_alloc(1 << 8, ways=2)
+        va = alloc.alloc(64)
+        stu.insert_stlt(0x6001, va)
+        space.migrate_page(alloc.alloc(4096))
+        scrubs, rows = osi.scrubs, osi.rows_scrubbed
+        new = osi.stlt_resize(1 << 9)
+        # cold restart: empty table, kernel array cleared, stale hits
+        # impossible
+        assert new.num_rows == 1 << 9
+        assert new.ways == old.ways == 2
+        assert new.counter_policy is old.counter_policy
+        assert new.occupancy == 0
+        assert osi._invalidated_vpns == []
+        assert stu.load_va(0x6001).missed
+        # lifetime telemetry survives the resize (the run aggregates it)
+        assert (osi.scrubs, osi.rows_scrubbed) == (scrubs, rows)

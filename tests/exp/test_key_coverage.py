@@ -36,6 +36,13 @@ ALTERNATES = {
     "offered_load": 0.5,
     "dispatch_policy": "jsq",
     "service_requests": 64,
+    "churn_rate": 0.05,
+    "fault_plan": ("slowdown:core=0,factor=2",),
+    "svc_timeout": 6.0,
+    "svc_retries": 2,
+    "svc_backoff": 1.5,
+    "svc_hedge": 4.0,
+    "svc_fallback": True,
     "seed": 99,
     "machine": dataclasses.replace(SCALED_MACHINE, line_bytes=128),
 }

@@ -2,6 +2,7 @@
 
 from repro.exp import SweepRunner, points_from_configs
 from repro.exp.reporting import (
+    churn_table,
     metrics_from_record,
     speedup_table,
     summary_table,
@@ -22,6 +23,10 @@ EXPECTED_METRIC_KEYS = {
     # open-loop latency (PR 3) — None for closed-loop records
     "latency_p50", "latency_p99", "latency_p999",
     "offered_rate", "achieved_throughput",
+    # chaos / mitigation telemetry (PR 4) — None for quiet records
+    "oracle_checks", "oracle_violations", "ipb_overflows",
+    "stlt_rows_scrubbed", "chaos_events",
+    "svc_timeouts", "svc_hedges", "svc_fallbacks",
 }
 
 
@@ -84,3 +89,40 @@ class TestTables:
     def test_speedup_table_without_baseline(self):
         records = [record_for(frontend="stlt")]
         assert "no baseline" in speedup_table(records)
+
+    def test_speedup_table_compares_like_churn_with_like(self):
+        # a quiet baseline must not anchor a churny run: the grouping
+        # key includes the chaos knobs, so a churn run with no same-
+        # churn baseline is simply skipped
+        records = [record_for(frontend="baseline"),
+                   record_for(frontend="stlt", churn_rate=0.05)]
+        assert "no baseline" in speedup_table(records)
+
+
+class TestChurnTable:
+    def _records(self):
+        records = []
+        for rate in (0.0, 0.05):
+            for frontend in ("baseline", "stlt"):
+                records.append(record_for(frontend=frontend,
+                                          churn_rate=rate))
+        return records
+
+    def test_retention_normalises_against_quiet_speedup(self):
+        text = churn_table(self._records())
+        # quiet: 4100 / 1100 = 3.73x (the 100% anchor); at churn 0.05
+        # the weights give 4920 / 1650 = 2.98x -> 80% retained
+        assert "3.73x" in text
+        assert "100%" in text
+        assert "2.98x" in text
+        assert "80%" in text
+
+    def test_oracle_and_scrub_telemetry_ride_along(self):
+        text = churn_table(self._records())
+        assert "OK" in text
+        assert "100" in text          # stlt_rows_scrubbed at 0.05
+        assert "rows scrubbed" in text
+
+    def test_quiet_records_render_placeholder(self):
+        records = [record_for(frontend=f) for f in ("baseline", "stlt")]
+        assert "no churn records" in churn_table(records)

@@ -31,6 +31,23 @@ def fake_run(config: RunConfig) -> RunResult:
     """A deterministic, instant stand-in for the real simulator."""
     cycles = _FRONTEND_WEIGHT[config.frontend] * config.seed \
         + config.num_keys
+    chaos = None
+    if config.chaos_enabled:
+        # churn hurts the accelerated front-ends more than the baseline
+        # (stale fast-path rows, scrub storms), mirroring the real
+        # simulator's retention curve in miniature
+        weight = 4.0 if config.frontend == "baseline" else 10.0
+        cycles = int(cycles * (1.0 + config.churn_rate * weight))
+        chaos = {
+            "churn_rate": config.churn_rate,
+            "fault_plan": list(config.fault_plan),
+            "oracle": {"checks": config.measure_ops, "fast_checks": 10,
+                       "violations": 0},
+            "events": {"migrate": int(1000 * config.churn_rate)},
+            "events_skipped": 0,
+            "ipb_overflows": int(100 * config.churn_rate),
+            "stlt_rows_scrubbed": int(2000 * config.churn_rate),
+        }
     return RunResult(
         label=config.label,
         frontend=config.frontend,
@@ -41,6 +58,7 @@ def fake_run(config: RunConfig) -> RunResult:
         mem=MemoryStats(accesses=config.measure_ops, total_cycles=cycles),
         attr={"index": 600 * config.seed, "value": 400 * config.seed},
         fast_miss_rate=None if config.frontend == "baseline" else 0.25,
+        chaos=chaos,
     )
 
 

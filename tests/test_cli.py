@@ -225,8 +225,145 @@ class TestSweepCommand:
         assert "offered" in out
         assert "no open-loop" not in out
 
-    def test_unknown_named_sweep_fails_loudly(self, tmp_path):
-        from repro.errors import ConfigError
-        with pytest.raises(ConfigError):
-            main(["sweep", "definitely-not-a-sweep", "--quiet",
-                  "--store", str(tmp_path / "s.jsonl")])
+    def test_unknown_named_sweep_fails_loudly(self, capsys, tmp_path):
+        # errors exit with their mapped code and one clean stderr line —
+        # no traceback spill (PR 4)
+        rc = main(["sweep", "definitely-not-a-sweep", "--quiet",
+                   "--store", str(tmp_path / "s.jsonl")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "repro: ConfigError:" in err
+        assert "Traceback" not in err
+
+
+CHAOS_ARGS = ["--keys", "1500", "--ops", "300", "--warmup-ops", "300"]
+
+
+class TestExitCodes:
+    """Every ReproError subclass maps to a distinct, documented code."""
+
+    def test_mapping_is_stable(self):
+        from repro import errors
+        from repro.cli import EXIT_CODES, exit_code_for
+
+        assert exit_code_for(errors.ConfigError("x")) == 2
+        assert exit_code_for(errors.CoherenceError("x")) == 3
+        assert exit_code_for(errors.FaultInjectionError("x")) == 4
+        assert exit_code_for(errors.STLTError("x")) == 5
+        assert exit_code_for(errors.KVSError("x")) == 6
+        assert exit_code_for(errors.AddressError("x")) == 7
+        assert exit_code_for(errors.PageFault(0xBAD)) == 8
+        assert exit_code_for(errors.AllocationError("x")) == 9
+        assert exit_code_for(errors.ReproError("x")) == 10
+        # distinctness: no two classes share a code
+        assert len(set(EXIT_CODES.values())) == len(EXIT_CODES)
+
+    def test_subclasses_resolve_via_mro(self):
+        from repro.cli import exit_code_for
+        from repro.errors import CoherenceError
+
+        class FutureCoherenceBug(CoherenceError):
+            pass
+
+        assert exit_code_for(FutureCoherenceBug("x")) == 3
+
+    def test_bad_fault_spec_exits_4_with_one_line(self, capsys):
+        rc = main(["run", "--fault", "meteor:core=0"] + CHAOS_ARGS)
+        assert rc == 4
+        captured = capsys.readouterr()
+        assert "repro: FaultInjectionError:" in captured.err
+        assert "meteor" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.out == ""
+
+    def test_fault_on_missing_core_exits_4(self, capsys):
+        rc = main(["run", "--fault", "slowdown:core=7,factor=2"]
+                  + CHAOS_ARGS)
+        assert rc == 4
+        assert "core 7" in capsys.readouterr().err
+
+    def test_bad_churn_rate_exits_2(self, capsys):
+        rc = main(["run", "--churn-rate", "1.5"] + CHAOS_ARGS)
+        assert rc == 2
+        assert "repro: ConfigError:" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_chaos_defaults_to_some_churn(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.churn_rate == 0.05
+
+    def test_chaos_without_adversity_is_a_usage_error(self, capsys):
+        rc = main(["chaos", "--churn-rate", "0"] + CHAOS_ARGS)
+        assert rc == 2
+        assert "nothing to inject" in capsys.readouterr().err
+
+    def test_chaos_prints_telemetry(self, capsys):
+        rc = main(["chaos", "--frontend", "stlt", "--cores", "2",
+                   "--churn-rate", "0.05"] + CHAOS_ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        for needle in ("churn rate", "chaos events", "churn volume",
+                       "IPB overflows", "oracle"):
+            assert needle in out, f"chaos output missing {needle!r}"
+        assert "0 violations" in out
+
+    def test_chaos_compare_baseline_reports_retained_speedup(self, capsys):
+        rc = main(["chaos", "--frontend", "stlt", "--churn-rate", "0.02",
+                   "--compare-baseline"] + CHAOS_ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "under" in out
+
+    def test_chaos_json_record_carries_chaos_payload(self, capsys):
+        rc = main(["chaos", "--json", "--frontend", "stlt",
+                   "--churn-rate", "0.05"] + CHAOS_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        config = RunConfig.from_dict(record["config"])
+        assert record["key"] == config_hash(config)
+        assert config.churn_rate == 0.05
+        chaos = record["result"]["chaos"]
+        assert chaos["oracle"]["violations"] == 0
+        assert sum(chaos["events"].values()) >= 0
+
+    def test_fault_plan_via_repeated_flags(self, capsys):
+        rc = main(["chaos", "--json", "--cores", "2", "--churn-rate", "0",
+                   "--fault", "slowdown:core=1,factor=2",
+                   "--fault", "stall:core=0,cycles=50"] + CHAOS_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["config"]["fault_plan"] == [
+            "slowdown:core=1,factor=2", "stall:core=0,cycles=50"]
+        assert record["result"]["chaos"]["fault_cycles_charged"] > 0
+
+
+class TestServeMitigationFlags:
+    def test_defaults_are_quiet(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.timeout is None
+        assert args.retries == 0
+        assert args.backoff == 2.0
+        assert args.hedge is None
+        assert args.fallback is False
+
+    def test_mitigated_serve_prints_mitigation_line(self, capsys):
+        rc = main(["serve", "--cores", "2", "--frontend", "stlt",
+                   "--load", "0.9", "--fault", "slowdown:core=1,factor=4",
+                   "--timeout", "6", "--retries", "2", "--hedge", "4",
+                   "--fallback"] + CHAOS_ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mitigation" in out
+        assert "fault plan" in out
+
+    def test_mitigation_knobs_land_in_json_record(self, capsys):
+        rc = main(["serve", "--json", "--cores", "2", "--timeout", "6",
+                   "--retries", "1"] + CHAOS_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["config"]["svc_timeout"] == 6.0
+        assert record["config"]["svc_retries"] == 1
+        service = record["result"]["service"]
+        assert service["mitigation"]["retries"] == 1
+        assert service["mitigation"]["timeout_cycles"] > 0
