@@ -47,14 +47,10 @@ import random
 from typing import Dict, List
 
 from ..errors import FaultInjectionError
-from ..params import PAGE_BYTES
+from ..params import PAGE_BYTES, derive_seed
 from .schedule import CHAOS_EVENT_KINDS, ChaosEvent, ChaosSchedule, FaultSpec, parse_fault
 
-__all__ = ["ChaosInjector", "SCRATCH_PAGES", "TARGET_SEED_SALT"]
-
-#: seed salt for the target-selection stream (independent of the event
-#: schedule's CHAOS_SEED_SALT and the workload/service salts)
-TARGET_SEED_SALT = 0x7A26
+__all__ = ["ChaosInjector", "SCRATCH_PAGES"]
 
 #: pages in the scratch region unmap/remap churn cycles through — small
 #: enough to revisit pages (re-invalidation of an already-buffered vpn),
@@ -69,7 +65,9 @@ class ChaosInjector:
         self.engine = engine
         config = engine.config
         self.schedule = ChaosSchedule(config.churn_rate, config.seed)
-        self.rng = random.Random(config.seed ^ TARGET_SEED_SALT)
+        # target payloads draw from the "chaos_target" namespace,
+        # independent of the event-position schedule above
+        self.rng = random.Random(derive_seed(config.seed, "chaos_target"))
         self.faults: List[FaultSpec] = [
             parse_fault(spec) for spec in config.fault_plan]
         for fault in self.faults:

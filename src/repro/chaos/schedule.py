@@ -34,13 +34,10 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigError, FaultInjectionError
+from ..params import derive_seed
 
 __all__ = ["CHAOS_EVENT_KINDS", "ChaosEvent", "ChaosSchedule",
            "FaultSpec", "parse_fault"]
-
-#: seed salt keeping the chaos stream independent of the workload
-#: generator (seed, seed ^ 0x5EED) and the service layer's salts
-CHAOS_SEED_SALT = 0xC4A0
 
 #: event kinds and their relative weights.  Migration storms dominate
 #: (memory compaction is the common case and the IPB's raison d'etre);
@@ -90,7 +87,9 @@ class ChaosSchedule:
         if not 0.0 <= churn_rate <= 1.0:
             raise ConfigError("churn rate must be within [0, 1]")
         self.churn_rate = churn_rate
-        self.rng = random.Random(seed ^ CHAOS_SEED_SALT)
+        # the "chaos_schedule" namespace keeps the event-position stream
+        # independent of the workload / service / target-payload streams
+        self.rng = random.Random(derive_seed(seed, "chaos_schedule"))
         self._kinds = [k for k, _ in _EVENT_WEIGHTS]
         self._weights = [w for _, w in _EVENT_WEIGHTS]
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Six subcommands:
+Seven subcommands:
 
 ``run``       simulate one configuration and print its metrics
               (optionally against a baseline run for speedups);
@@ -15,21 +15,29 @@ Six subcommands:
               context switches, mid-run STLT resizes) with the
               stale-translation oracle armed, and report the coherence
               telemetry (IPB overflows, scrub work, oracle verdict);
+``cluster``   sharded multi-node cluster simulation: every node is a
+              full multi-core engine, clients resolve hash slots
+              through an address-centric route cache (the cluster-scale
+              STLT), and live slot migrations fire ASK/MOVED redirects
+              under running traffic — reported with merged tail
+              latency, throughput scaling, and route/redirect counts;
 ``breakdown`` print the Fig. 1-style cycle breakdown of a configuration;
 ``hwcost``    print the Table I on-chip cost accounting;
 ``sweep``     run a whole campaign (named sweep or JSON spec file) in
               parallel through :mod:`repro.exp`, with a durable result
-              store, per-run retry/timeout, and progress/ETA output.
+              store, per-run retry/timeout, and progress/ETA output
+              (``--list`` describes the named campaigns).
 
-``run``, ``serve``, ``chaos``, and ``breakdown`` accept ``--json`` and
-then emit the same machine-readable record the sweep store writes
-(config + result keyed by the config content hash), so single runs and
-campaigns feed the same tooling.
+``run``, ``serve``, ``chaos``, ``cluster``, and ``breakdown`` accept
+``--json`` and then emit the same machine-readable record the sweep
+store writes (config + result keyed by the config content hash), so
+single runs and campaigns feed the same tooling.
 
 Every :class:`~repro.errors.ReproError` subclass maps to its own exit
 code with a one-line message on stderr (no tracebacks for expected
 failures): config 2, coherence 3, fault plan 4, STLT misuse 5, KVS 6,
-address 7, page fault 8, allocation 9, other repro errors 10.
+address 7, page fault 8, allocation 9, other repro errors 10,
+cluster 11.
 
 Examples::
 
@@ -42,11 +50,15 @@ Examples::
         --timeout 6 --retries 2 --hedge 4 --fallback
     python -m repro chaos --frontend stlt --churn-rate 0.05
     python -m repro chaos --churn-rate 0.1 --compare-baseline
+    python -m repro cluster --nodes 4 --replicas 1 --migrate-rate 0.01
+    python -m repro cluster --nodes 8 --no-route-cache --net-rtt 300
     python -m repro breakdown --program redis
     python -m repro sweep smoke --jobs 2
-    python -m repro sweep churn --jobs 4 --store results.jsonl
+    python -m repro sweep --list
+    python -m repro sweep scale --jobs 4 --store results.jsonl
     python -m repro sweep --spec campaign.json --fresh --json
     python -m repro hwcost
+    python -m repro --version
 """
 
 from __future__ import annotations
@@ -55,12 +67,15 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import List, Optional
 
+from . import __version__
 from .core.hwcost import hardware_cost
 from .errors import (
     AddressError,
     AllocationError,
+    ClusterError,
     CoherenceError,
     ConfigError,
     FaultInjectionError,
@@ -76,12 +91,15 @@ from .exp import (
     SweepSpec,
     builtin_sweeps,
     churn_table,
+    cluster_table,
     get_sweep,
     latency_table,
     make_record,
     scaling_table,
     speedup_table,
     summary_table,
+    sweep_descriptions,
+    sweep_summary,
 )
 from .sim.breakdown import run_breakdown
 from .sim.config import (
@@ -109,6 +127,7 @@ EXIT_CODES = {
     PageFault: 8,
     AllocationError: 9,
     ReproError: 10,
+    ClusterError: 11,
 }
 
 
@@ -180,6 +199,15 @@ def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
         svc_backoff=getattr(args, "backoff", 2.0),
         svc_hedge=getattr(args, "hedge", None),
         svc_fallback=getattr(args, "fallback", False),
+        # cluster knobs, present only on the cluster parser
+        nodes=getattr(args, "nodes", 1),
+        replicas=getattr(args, "replicas", 0),
+        route_cache=not getattr(args, "no_route_cache", False),
+        client_batch=getattr(args, "batch", 1),
+        cluster_clients=getattr(args, "clients", 8),
+        replica_reads=getattr(args, "replica_reads", False),
+        migrate_rate=getattr(args, "migrate_rate", 0.0),
+        net_rtt_cycles=getattr(args, "net_rtt", 0.0),
         seed=args.seed,
     )
 
@@ -329,6 +357,77 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cluster(result: RunResult) -> None:
+    cluster = result.cluster or {}
+    latency = cluster.get("latency", {})
+    migration = cluster.get("migration", {})
+    network = cluster.get("network", {})
+    lookups = (cluster.get("route_hits", 0)
+               + cluster.get("route_stale_hits", 0)
+               + cluster.get("route_misses", 0))
+    hit_rate = (cluster.get("route_hits", 0) / lookups) if lookups else 0.0
+    print(f"configuration : {result.label}")
+    print(f"fleet         : {cluster.get('nodes')} node(s), "
+          f"{cluster.get('replicas', 0)} replica(s)/slot, "
+          f"{cluster.get('clients')} client(s) "
+          f"(batch {cluster.get('client_batch', 1)}, route cache "
+          f"{'on' if cluster.get('route_cache', True) else 'off'}"
+          f"{', replica reads' if cluster.get('replica_reads') else ''})")
+    print(f"traffic       : {cluster.get('process')} arrivals, "
+          f"{cluster.get('requests')} requests "
+          f"(load {cluster.get('offered_load', 0.0):.2f})")
+    print(f"capacity      : {cluster.get('total_capacity', 0.0):.5f} "
+          f"ops/cycle across nodes")
+    print(f"offered       : {cluster.get('arrival_rate', 0.0):.5f} "
+          f"req/cycle")
+    print(f"achieved      : {cluster.get('achieved_throughput', 0.0):.5f} "
+          f"req/cycle")
+    print(f"latency p50   : {latency.get('p50', 0.0):.0f} cycles")
+    print(f"latency p95   : {latency.get('p95', 0.0):.0f} cycles")
+    print(f"latency p99   : {latency.get('p99', 0.0):.0f} cycles")
+    print(f"latency p99.9 : {latency.get('p999', 0.0):.0f} cycles")
+    print(f"mean latency  : {cluster.get('mean_latency', 0.0):.1f} cycles")
+    print(f"fairness      : {cluster.get('fairness', 0.0):.4f} (Jain, "
+          f"per-node requests)")
+    print(f"route cache   : {cluster.get('route_hits', 0)} hits, "
+          f"{cluster.get('route_stale_hits', 0)} stale, "
+          f"{cluster.get('route_misses', 0)} misses "
+          f"({hit_rate:.1%} hit rate)")
+    print(f"redirects     : {cluster.get('moved_redirects', 0)} MOVED, "
+          f"{cluster.get('ask_redirects', 0)} ASK")
+    if migration.get("started"):
+        print(f"migrations    : {migration.get('started', 0)} started, "
+              f"{migration.get('committed', 0)} committed, "
+              f"{migration.get('skipped', 0)} skipped")
+    if network.get("transfers"):
+        print(f"network       : {network.get('transfers', 0)} transfers, "
+              f"{network.get('bytes_moved', 0)} bytes, "
+              f"{network.get('link_wait_cycles', 0.0):.0f} cycles of "
+              f"link wait")
+    violations = cluster.get("oracle_violations", 0)
+    print(f"oracle        : "
+          f"{'OK' if not violations else f'{violations} VIOLATIONS'} "
+          f"(every request served by an authoritative node)")
+    for node in cluster.get("per_node", []):
+        print(f"  node {node['node']}: {node['requests']} reqs, "
+              f"busy {node['busy_fraction']:.1%}, "
+              f"mean latency {node['mean_latency']:.0f} cycles")
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    if not config.cluster_enabled:
+        print("cluster: nothing to shard — give --nodes > 1 (and/or "
+              "--net-rtt > 0 for a one-node anchor run)", file=sys.stderr)
+        return 2
+    result = run_experiment(config)
+    if args.json:
+        print(json.dumps(make_record(config, result), sort_keys=True))
+        return 0
+    _print_cluster(result)
+    return 0
+
+
 def cmd_breakdown(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     breakdown = run_breakdown(config)
@@ -346,9 +445,14 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        for name, description in sweep_descriptions().items():
+            print(f"{name:<10} {description}")
+        return 0
     if bool(args.name) == bool(args.spec):
         print("sweep: give exactly one of a sweep name or --spec FILE "
-              f"(named sweeps: {', '.join(builtin_sweeps())})",
+              f"(named sweeps: {', '.join(builtin_sweeps())}; "
+              f"--list describes them)",
               file=sys.stderr)
         return 2
     if args.name:
@@ -366,7 +470,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fresh=args.fresh,
         progress=progress,
     )
+    started = time.perf_counter()
     report = runner.run(points)
+    wall_seconds = time.perf_counter() - started
+    summary = sweep_summary(report, wall_seconds)
 
     if args.json:
         for outcome in report:
@@ -378,6 +485,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                         "config": outcome.config.to_dict(),
                         "status": outcome.status, "error": outcome.error}
             print(json.dumps(line, sort_keys=True))
+        # the roll-up rides last, wrapped so record consumers that
+        # filter on result/config keys skip it naturally
+        print(json.dumps({"summary": summary}, sort_keys=True))
     else:
         print(summary_table(report))
         records = [o.record for o in report if o.record is not None]
@@ -397,8 +507,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if "no churn" not in churn:
             print()
             print(churn)
+        cluster = cluster_table(records)
+        if "no cluster" not in cluster:
+            print()
+            print(cluster)
         print()
         print(report.summary())
+        print(f"store: {summary['store_hits']} hit(s), "
+              f"{summary['store_misses']} miss(es); "
+              f"{summary['wall_seconds']:.2f}s wall")
         for outcome in report.failed:
             print(f"  failed: {outcome.label}: {outcome.error}")
     return 0 if report.ok else 1
@@ -418,6 +535,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="STLT (HPCA'21) reproduction: run simulated "
                     "key-value-store experiments",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="simulate one configuration")
@@ -485,6 +604,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the store-record JSON instead of text")
     chaos_parser.set_defaults(func=cmd_chaos)
 
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="sharded multi-node cluster with a client route cache, "
+             "replication, and live slot migration")
+    _add_config_arguments(cluster_parser)
+    cluster_parser.add_argument(
+        "--nodes", type=int, default=3,
+        help="sharded nodes, each a full multi-core engine (default: 3)")
+    cluster_parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="replica nodes per hash slot (default: 0)")
+    cluster_parser.add_argument(
+        "--no-route-cache", action="store_true",
+        help="disable the client slot->node route cache (every request "
+             "bootstraps through an arbitrary node)")
+    cluster_parser.add_argument(
+        "--batch", type=int, default=1,
+        help="requests a client pipelines per batch window (default: 1)")
+    cluster_parser.add_argument(
+        "--clients", type=int, default=8,
+        help="clients generating the request stream (default: 8)")
+    cluster_parser.add_argument(
+        "--replica-reads", action="store_true",
+        help="serve GETs from slot replicas, rotating over the read set")
+    cluster_parser.add_argument(
+        "--migrate-rate", type=float, default=0.0,
+        help="per-request probability that a live slot migration "
+             "starts (default: 0)")
+    cluster_parser.add_argument(
+        "--net-rtt", type=float, default=0.0,
+        help="client <-> node network round-trip in core cycles "
+             "(default: 0, the quiet network)")
+    cluster_parser.add_argument(
+        "--arrival", choices=("poisson", "mmpp"), default="poisson",
+        help="cluster arrival process (default: poisson)")
+    cluster_parser.add_argument(
+        "--load", type=float, default=0.7,
+        help="offered load as a fraction of the fleet's aggregate "
+             "closed-loop capacity (default: 0.7)")
+    cluster_parser.add_argument(
+        "--requests", type=int, default=None,
+        help="cluster requests to simulate "
+             "(default: nodes x cores x measured ops)")
+    cluster_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the store-record JSON instead of text")
+    cluster_parser.set_defaults(func=cmd_cluster)
+
     breakdown_parser = sub.add_parser(
         "breakdown", help="Fig. 1-style cycle attribution")
     _add_config_arguments(breakdown_parser)
@@ -500,6 +667,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"named sweep to run ({', '.join(builtin_sweeps())})")
     sweep_parser.add_argument("--spec", default=None, metavar="FILE",
                               help="JSON sweep-spec file to run instead")
+    sweep_parser.add_argument("--list", action="store_true",
+                              help="list the named sweeps with one-line "
+                                   "descriptions and exit")
     sweep_parser.add_argument("--jobs", type=int,
                               default=max(1, os.cpu_count() or 1),
                               help="worker processes (1 = in-process)")

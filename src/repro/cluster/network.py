@@ -1,0 +1,138 @@
+"""Cluster network: per-hop latency, serialization cost, link queues.
+
+A deliberately small model (DESIGN.md section 10 records its limits):
+
+* every directed ``(src, dst)`` pair is an independent link that can
+  serialise one transfer at a time — two overlapping transfers on the
+  same link queue, so a hot node's response link becomes a queueing
+  bottleneck exactly like the DRAM channel model in
+  :mod:`repro.mem.dram`;
+* one transfer costs ``bytes / bytes_per_cycle`` serialization (paid
+  on the link) plus half the configured RTT propagation (paid by the
+  message, not the link — the wire pipelines);
+* ``rtt_cycles == 0`` is the *quiet network*: every transfer is free
+  and the link table stays empty, so a quiet-network cluster run adds
+  zero cycles anywhere — the bit-identity anchor for one-node runs.
+
+Link occupancy is an **interval schedule**, not a single high-water
+clock: a transfer claims the earliest serialization-sized gap at or
+after its departure time.  The overlay simulates requests in arrival
+order but *reserves* each request's whole trajectory — including a
+response that leaves long after queueing — before later requests'
+earlier control messages are processed.  A single ``free_at`` clock
+would make those early messages wait behind far-future responses (an
+artifact of processing order, not of the modelled network); gap
+scheduling keeps the timeline causal no matter the order reservations
+are made in.
+
+Pipelined requests (``client_batch > 1``) skip the propagation delay
+on every batch follower — the batch head pays the RTT, the followers
+ride the same window and pay serialization only.
+
+The model is deterministic by construction: no random jitter (the
+variance the tail sees comes from real queueing on links and cores,
+not injected noise), so a cluster timeline is a pure function of the
+seed-derived request stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from ..errors import ClusterError
+
+__all__ = ["ClusterNetwork", "DEFAULT_BYTES_PER_CYCLE",
+           "REQUEST_HEADER_BYTES"]
+
+#: link bandwidth: bytes serialised per core cycle.  8 B/cycle at
+#: 2.66 GHz is ~21 GB/s — a sensible share of a modern NIC, and small
+#: enough that large-value responses on a hot link queue visibly.
+DEFAULT_BYTES_PER_CYCLE = 8.0
+
+#: fixed per-message overhead (protocol framing + key) in bytes
+REQUEST_HEADER_BYTES = 64
+
+
+class ClusterNetwork:
+    """Seeded-free deterministic latency/bandwidth/contention model."""
+
+    def __init__(self, rtt_cycles: float,
+                 bytes_per_cycle: float = DEFAULT_BYTES_PER_CYCLE) -> None:
+        if rtt_cycles < 0:
+            raise ClusterError("network RTT cannot be negative")
+        if bytes_per_cycle <= 0:
+            raise ClusterError("network bandwidth must be positive")
+        self.rtt_cycles = float(rtt_cycles)
+        self.bytes_per_cycle = float(bytes_per_cycle)
+        #: directed link -> sorted (start, end) busy intervals
+        self._busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        # -- telemetry ------------------------------------------------
+        self.transfers = 0
+        self.bytes_moved = 0
+        #: cycles transfers spent waiting for a busy link
+        self.link_wait_cycles = 0.0
+
+    @property
+    def quiet(self) -> bool:
+        """A zero-RTT network: transfers are free, links untracked."""
+        return self.rtt_cycles == 0.0
+
+    def _reserve(self, link: Tuple[str, str], at: float,
+                 duration: float) -> float:
+        """Claim the earliest ``duration``-sized gap on ``link`` at or
+        after ``at``; returns the transfer's start time."""
+        intervals = self._busy.setdefault(link, [])
+        # first interval that could overlap [at, at + duration)
+        i = bisect.bisect_right(intervals, (at, float("inf")))
+        if i and intervals[i - 1][1] > at:
+            i -= 1  # the previous interval is still busy at ``at``
+        start = at
+        while i < len(intervals):
+            busy_start, busy_end = intervals[i]
+            if start + duration <= busy_start:
+                break  # the gap before interval i fits
+            if busy_end > start:
+                start = busy_end
+            i += 1
+        intervals.insert(i, (start, start + duration))
+        return start
+
+    def one_way(self, src: str, dst: str, nbytes: int, at: float,
+                propagate: bool = True) -> float:
+        """Deliver ``nbytes`` from ``src`` to ``dst``, departing ``at``.
+
+        Returns the delivery time.  ``propagate=False`` models a
+        pipelined batch follower: it still occupies the link for its
+        serialization time but rides the batch head's propagation
+        window instead of paying its own RTT/2.
+        """
+        if self.quiet:
+            return at
+        if nbytes < 0:
+            raise ClusterError("cannot transfer a negative byte count")
+        serialization = nbytes / self.bytes_per_cycle
+        start = self._reserve((src, dst), at, serialization)
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        self.link_wait_cycles += start - at
+        delivery = start + serialization
+        if propagate:
+            delivery += self.rtt_cycles / 2.0
+        return delivery
+
+    def round_trip(self, a: str, b: str, request_bytes: int,
+                   response_bytes: int, at: float,
+                   propagate: bool = True) -> float:
+        """A request/response exchange; returns the response delivery."""
+        arrive = self.one_way(a, b, request_bytes, at, propagate)
+        return self.one_way(b, a, response_bytes, arrive, propagate)
+
+    def report(self) -> dict:
+        return {
+            "rtt_cycles": self.rtt_cycles,
+            "bytes_per_cycle": self.bytes_per_cycle,
+            "transfers": self.transfers,
+            "bytes_moved": self.bytes_moved,
+            "link_wait_cycles": self.link_wait_cycles,
+        }

@@ -1,0 +1,473 @@
+"""The cluster event loop and its result record.
+
+The pipeline (``repro cluster``, the ``scale`` sweep):
+
+1. every node runs the *full* single-node simulator — a
+   :class:`~repro.sim.engine.Engine` under the multi-core interleave
+   with the per-op capture hook armed — yielding each node's measured
+   closed-loop capacity and per-core service-cycle sequences (node 0
+   keeps the run seed verbatim; node *i* derives the ``node{i}``
+   stream, so nodes are independent but the whole fleet is a pure
+   function of one seed);
+2. an open-loop arrival process stamps cluster-wide request times at
+   ``offered_load x`` the fleet's *aggregate* closed-loop capacity;
+3. each request hashes to a slot, a client resolves the slot through
+   its route cache (hit / stale / miss — MOVED redirects on stale or
+   unlucky bootstrap routes, ASK redirects through live migration
+   windows), pays the network model for every hop, and is served FIFO
+   by a core of the owning node, charged that node's next captured
+   service time;
+4. end-to-end latency (network + queueing + service) is recorded in
+   the *serving node's* log-bucketed histogram; the per-node
+   histograms merge into the fleet-wide distribution at the end —
+   the same mergeable-histogram machinery :mod:`repro.svc` uses.
+
+A routing oracle cross-checks every serve: the node that executed a
+request must authoritatively hold the key's slot at serve time (the
+primary, a replica for reads, or the importing node during an ASK
+window).  A violation raises :class:`~repro.errors.ClusterError` at
+the end of the run — stale routes may cost redirects, never
+correctness, mirroring the node-level stale-translation oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ClusterError, ReproError
+from ..params import derive_seed
+from ..svc.arrival import make_arrivals
+from ..svc.histogram import DEFAULT_PRECISION, LatencyHistogram
+from ..workloads.distributions import make_chooser
+from ..workloads.keys import key_bytes
+from .client import ClusterClient
+from .migration import MigrationScheduler
+from .network import REQUEST_HEADER_BYTES, ClusterNetwork
+from .topology import ClusterTopology, slot_for_key
+
+__all__ = ["ClusterResult", "REDIRECT_CYCLES", "run_cluster",
+           "simulate_cluster"]
+
+#: cycles a wrong-node consults its slot table before answering a
+#: MOVED/ASK redirect (a hash-map probe plus a small reply, far below
+#: one real service time — redirects are cheap, extra *hops* are not)
+REDIRECT_CYCLES = 40
+
+#: bytes of a MOVED/ASK reply (error line with slot and address)
+REDIRECT_BYTES = 48
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster run (JSON-exact round trip)."""
+
+    #: fleet shape
+    nodes: int
+    replicas: int
+    clients: int
+    client_batch: int
+    route_cache: bool
+    replica_reads: bool
+    #: arrival process ("poisson" | "mmpp") of the cluster overlay
+    process: str
+    offered_load: float
+    #: offered arrival rate, ops/cycle (load x aggregate capacity)
+    arrival_rate: float
+    #: sum of the nodes' measured closed-loop capacities, ops/cycle
+    total_capacity: float
+    #: cluster requests simulated
+    requests: int
+    #: cycles from the arrival epoch to the last response delivery
+    makespan: float
+    #: requests / makespan, ops/cycle — the scaling metric
+    achieved_throughput: float
+    mean_latency: float
+    #: fleet-wide latency percentiles, cycles: p50 / p95 / p99 / p999
+    #: (merged from the per-node histograms)
+    latency: Dict[str, float]
+    #: the merged log-bucketed latency distribution
+    histogram: dict
+    #: per-node statistics: node, closed_loop_throughput, requests,
+    #: busy_fraction, mean_latency
+    per_node: List[dict]
+    #: Jain fairness over per-node served-request counts
+    fairness: float
+    #: route-cache outcomes summed over the client population
+    route_hits: int
+    route_stale_hits: int
+    route_misses: int
+    #: redirect hops
+    moved_redirects: int
+    ask_redirects: int
+    #: migration telemetry (:meth:`MigrationScheduler.report`)
+    migration: dict
+    #: network telemetry (:meth:`ClusterNetwork.report`)
+    network: dict
+    #: requests served by a node with no authority over the slot —
+    #: must be zero (the run raises otherwise); stored so a violation
+    #: found post-hoc in an archived record stays visible
+    oracle_violations: int = 0
+
+    @property
+    def p50(self) -> float:
+        return self.latency["p50"]
+
+    @property
+    def p99(self) -> float:
+        return self.latency["p99"]
+
+    @property
+    def p999(self) -> float:
+        return self.latency["p999"]
+
+    @property
+    def route_lookups(self) -> int:
+        return self.route_hits + self.route_stale_hits + self.route_misses
+
+    @property
+    def route_hit_rate(self) -> float:
+        total = self.route_lookups
+        return self.route_hits / total if total else 0.0
+
+    def latency_histogram(self) -> LatencyHistogram:
+        """Re-hydrate the merged distribution."""
+        return LatencyHistogram.from_dict(self.histogram)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """All fields as JSON-native data (exact round trip)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterResult":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"unknown ClusterResult field(s): {sorted(unknown)!r}")
+        return cls(**data)
+
+
+def _jain(values: Sequence[float]) -> float:
+    """Jain's fairness index (1.0 = perfectly even)."""
+    rates = [v for v in values if v > 0]
+    if not rates:
+        return 0.0
+    total = sum(rates)
+    return (total * total) / (len(rates) * sum(r * r for r in rates))
+
+
+class _NodeServer:
+    """FIFO core queues of one node, charging captured service times."""
+
+    __slots__ = ("name", "op_cycles", "free_at", "served", "busy",
+                 "histogram", "latency_sum")
+
+    def __init__(self, node_id: int, op_cycles: Sequence[Sequence[int]],
+                 precision: int) -> None:
+        if not op_cycles or any(not seq for seq in op_cycles):
+            raise ClusterError(
+                f"node {node_id} produced an empty service sequence")
+        self.name = f"node{node_id}"
+        self.op_cycles = [list(seq) for seq in op_cycles]
+        self.free_at = [0.0] * len(op_cycles)
+        self.served = 0
+        self.busy = 0.0
+        self.histogram = LatencyHistogram(precision=precision)
+        self.latency_sum = 0.0
+
+    def serve(self, at: float) -> float:
+        """Charge one request, starting no earlier than ``at``; returns
+        the completion time.  Cores are picked round-robin (the node's
+        own dispatch policy already played out inside its engine run;
+        the cluster layer only needs a stable, deterministic spread)."""
+        n = len(self.op_cycles)
+        core = self.served % n
+        sequence = self.op_cycles[core]
+        service = sequence[(self.served // n) % len(sequence)]
+        self.served += 1
+        start = at if at > self.free_at[core] else self.free_at[core]
+        completion = start + service
+        self.free_at[core] = completion
+        self.busy += service
+        return completion
+
+
+def simulate_cluster(
+    config,
+    node_capacities: Sequence[float],
+    node_op_cycles: Sequence[Sequence[Sequence[int]]],
+    *,
+    precision: int = DEFAULT_PRECISION,
+) -> ClusterResult:
+    """Run the cluster overlay over measured per-node service times.
+
+    ``node_capacities[i]`` is node ``i``'s closed-loop throughput
+    (ops/cycle); ``node_op_cycles[i][c]`` is the captured per-op
+    service sequence of core ``c`` on node ``i``.  Everything else —
+    arrivals, key stream, client choices, migration schedule — derives
+    from ``config.seed`` through namespaced streams.
+    """
+    nodes = config.nodes
+    if len(node_capacities) != nodes or len(node_op_cycles) != nodes:
+        raise ClusterError(
+            f"got {len(node_capacities)} capacities / "
+            f"{len(node_op_cycles)} cycle captures for {nodes} node(s)")
+    total_capacity = float(sum(node_capacities))
+    if total_capacity <= 0.0:
+        raise ClusterError("aggregate capacity must be positive")
+
+    topology = ClusterTopology(nodes, config.replicas)
+    network = ClusterNetwork(config.net_rtt_cycles)
+    servers = [_NodeServer(i, node_op_cycles[i], precision)
+               for i in range(nodes)]
+    clients = [
+        ClusterClient(
+            i, nodes,
+            route_cache=config.route_cache,
+            batch=config.client_batch,
+            replica_reads=config.replica_reads,
+            seed=derive_seed(config.seed, f"client{i}"),
+        )
+        for i in range(config.cluster_clients)
+    ]
+
+    # -- the seeded request stream ------------------------------------
+    process = config.arrival_process \
+        if config.arrival_process != "closed" else "poisson"
+    count = config.effective_cluster_requests
+    rate = config.offered_load * total_capacity
+    arrivals = make_arrivals(process, rate, count,
+                             seed=derive_seed(config.seed,
+                                              "cluster_arrival"))
+    chooser = make_chooser(config.distribution, config.num_keys,
+                           seed=derive_seed(config.seed,
+                                            "cluster_keystream"))
+    key_ids = [chooser.choose() for _ in range(count)]
+    slot_of: Dict[int, int] = {}
+
+    def slot_for(key_id: int) -> int:
+        slot = slot_of.get(key_id)
+        if slot is None:
+            slot = slot_for_key(key_bytes(key_id), config.fast_hash)
+            slot_of[key_id] = slot
+        return slot
+
+    # migration payloads target the *populated* keyspace: a migration
+    # event moves the slot of a random live key, so scaled-down runs
+    # (a few hundred keys over 16384 slots) still exercise ASK windows
+    # and post-commit stale routes on slots that carry traffic
+    migration = MigrationScheduler(
+        topology, config.migrate_rate, config.seed,
+        slot_source=lambda rng: slot_for(rng.randrange(config.num_keys)))
+
+    # -- the event loop -----------------------------------------------
+    moved_redirects = 0
+    oracle_violations = 0
+    last_delivery = 0.0
+    total_latency = 0.0
+    value_bytes = REQUEST_HEADER_BYTES + config.value_size
+
+    for index, (arrival, key_id) in enumerate(zip(arrivals, key_ids)):
+        migration.before_request(index)
+        slot = slot_for(key_id)
+        client = clients[index % len(clients)]
+
+        target, _kind = client.target_for(slot, topology, is_read=True)
+        head = client.begin_request(target)
+        t = network.one_way(client.name, servers[target].name,
+                            REQUEST_HEADER_BYTES, arrival,
+                            propagate=head)
+
+        # MOVED: the contacted node has no authority over the slot —
+        # it answers with the owner's address and the client retries
+        serve_node = target
+        if target not in topology.read_set(slot):
+            moved_redirects += 1
+            t += REDIRECT_CYCLES
+            t = network.one_way(servers[target].name, client.name,
+                                REDIRECT_BYTES, t)
+            owner = topology.owner(slot)
+            client.on_moved(slot, owner)
+            serve_node = owner
+            head = True  # a redirected request restarts its window
+            t = network.one_way(client.name, servers[serve_node].name,
+                                REQUEST_HEADER_BYTES, t)
+
+        # ASK: the slot is mid-migration and this is its old primary —
+        # one-shot forward to the importing node, nothing cached
+        served_via_ask = False
+        ask = migration.ask_target(slot, serve_node)
+        if ask is not None:
+            t += REDIRECT_CYCLES
+            t = network.one_way(servers[serve_node].name, client.name,
+                                REDIRECT_BYTES, t)
+            t = network.one_way(client.name, servers[ask].name,
+                                REQUEST_HEADER_BYTES, t)
+            serve_node = ask
+            served_via_ask = True
+
+        # -- the routing oracle ---------------------------------------
+        legal = set(topology.read_set(slot))
+        if served_via_ask:
+            importing = migration.importing_node(slot)
+            if importing is not None:
+                legal.add(importing)
+        if serve_node not in legal:
+            oracle_violations += 1
+
+        server = servers[serve_node]
+        completion = server.serve(t)
+        delivery = network.one_way(server.name, client.name,
+                                   value_bytes, completion,
+                                   propagate=head)
+        if not served_via_ask:
+            client.on_served(slot, serve_node)
+
+        latency = delivery - arrival
+        server.histogram.record(latency)
+        server.latency_sum += latency
+        total_latency += latency
+        if delivery > last_delivery:
+            last_delivery = delivery
+
+    migration.drain(count)
+
+    # -- fold ----------------------------------------------------------
+    merged = LatencyHistogram(precision=precision)
+    per_node = []
+    for i, server in enumerate(servers):
+        merged.merge(server.histogram)
+        per_node.append({
+            "node": i,
+            "closed_loop_throughput": node_capacities[i],
+            "requests": server.served,
+            "busy_fraction": (server.busy / last_delivery
+                              if last_delivery else 0.0),
+            "mean_latency": (server.latency_sum / server.served
+                             if server.served else 0.0),
+        })
+    if merged.count != count:
+        raise ClusterError(
+            f"lost requests: served {merged.count} of {count}")
+
+    route_hits = sum(c.cache.hits for c in clients if c.cache)
+    route_stale = sum(c.cache.stale_hits for c in clients if c.cache)
+    route_misses = sum(c.cache.misses for c in clients if c.cache)
+    if not config.route_cache:
+        # cache-less clients classify every resolution as a miss
+        route_misses = count
+
+    result = ClusterResult(
+        nodes=nodes,
+        replicas=config.replicas,
+        clients=len(clients),
+        client_batch=config.client_batch,
+        route_cache=config.route_cache,
+        replica_reads=config.replica_reads,
+        process=process,
+        offered_load=config.offered_load,
+        arrival_rate=rate,
+        total_capacity=total_capacity,
+        requests=count,
+        makespan=last_delivery,
+        achieved_throughput=(count / last_delivery
+                             if last_delivery else 0.0),
+        mean_latency=total_latency / count if count else 0.0,
+        latency=merged.percentiles(),
+        histogram=merged.to_dict(),
+        per_node=per_node,
+        fairness=_jain([s.served for s in servers]),
+        route_hits=route_hits,
+        route_stale_hits=route_stale,
+        route_misses=route_misses,
+        moved_redirects=moved_redirects,
+        ask_redirects=migration.ask_redirects,
+        migration=migration.report(),
+        network=network.report(),
+        oracle_violations=oracle_violations,
+    )
+    if oracle_violations:
+        raise ClusterError(
+            f"cluster routing oracle: {oracle_violations} request(s) "
+            f"served by a node without authority over the slot")
+    return result
+
+
+# ----------------------------------------------------------------------
+# driving the overlay from a RunConfig
+# ----------------------------------------------------------------------
+
+def _node_config(config, node: int):
+    """The single-node engine config of cluster node ``node``.
+
+    Cluster-only knobs are stripped back to their defaults and the
+    arrival process forced closed (the cluster overlay *is* the open
+    loop).  Node 0 keeps the run seed verbatim — a one-node
+    quiet-network cluster therefore runs the exact engine the plain
+    path runs, bit-identical to the golden numbers; node ``i`` derives
+    the ``node{i}`` stream so fleets stay deterministic per seed.
+    """
+    seed = config.seed if node == 0 else \
+        derive_seed(config.seed, f"node{node}")
+    return replace(
+        config,
+        nodes=1,
+        replicas=0,
+        route_cache=True,
+        client_batch=1,
+        cluster_clients=type(config)().cluster_clients,
+        replica_reads=False,
+        migrate_rate=0.0,
+        net_rtt_cycles=0.0,
+        arrival_process="closed",
+        service_requests=None,
+        seed=seed,
+    )
+
+
+def run_cluster(config):
+    """Run a full cluster experiment: per-node engines + the overlay.
+
+    Returns the run-level :class:`~repro.sim.results.RunResult`: for a
+    one-node cluster, node 0's result verbatim (cycle-identical to the
+    plain engine path); for a fleet, the cross-node aggregate (wall
+    clock = slowest node, counters summed, per-node payloads riding in
+    ``cores``).  The cluster overlay's :class:`ClusterResult` is
+    attached as ``result.cluster`` either way.
+    """
+    # local imports: repro.sim imports this package's sibling modules
+    from ..chaos.report import build_chaos_report
+    from ..sim.engine import Engine
+    from ..sim.multicore import MultiCoreEngine
+    from ..sim.results import aggregate_run_results
+
+    per_node_results = []
+    capacities: List[float] = []
+    captures: List[Sequence[Sequence[int]]] = []
+    for node in range(config.nodes):
+        engine = Engine(_node_config(config, node))
+        mc = MultiCoreEngine(engine, capture_op_cycles=True)
+        outcome = mc.run()
+        result = outcome.per_core[0] if config.num_cores == 1 \
+            else outcome.aggregate
+        if mc.injector is not None:
+            result.chaos = build_chaos_report(engine, mc.injector)
+        per_node_results.append(result)
+        capacities.append(result.throughput)
+        captures.append(outcome.op_cycles)
+
+    cluster = simulate_cluster(config, capacities, captures)
+    if config.nodes == 1:
+        result = per_node_results[0]
+        # the node ran under the stripped config; the run-level label
+        # should still say "cluster anchor" (e.g. ...%1n+net300)
+        result.label = config.label
+    else:
+        result = aggregate_run_results(per_node_results, config.label,
+                                       config.frontend)
+    result.cluster = cluster.to_dict()
+    return result

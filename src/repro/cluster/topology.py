@@ -1,0 +1,197 @@
+"""Hash-slot sharding: slot ownership, replicas, minimal-remap moves.
+
+The keyspace is partitioned into :data:`NUM_SLOTS` hash slots (16384,
+Redis Cluster's constant); a key's slot is its fast-path hash modulo
+the slot count, reusing the registered hash functions of
+:mod:`repro.hashes` so the cluster shards on exactly the bytes the
+STLT fast path hashes.
+
+:class:`ClusterTopology` maps every slot to a primary node and, via
+ring successorship, to ``replicas`` follower nodes.  Membership
+changes remap the *minimal* slot set:
+
+* :meth:`add_node` steals just enough slots (one at a time, from the
+  currently largest owner) to give the joiner an equal share — no slot
+  between two surviving nodes ever moves;
+* :meth:`remove_node` redistributes exactly the leaver's slots (one at
+  a time, to the currently smallest owner) — every other assignment is
+  untouched.
+
+Both invariants, plus the ±1 balance bound, are property-tested with
+Hypothesis over arbitrary join/leave sequences.  All tie-breaks are
+deterministic (lowest node id, lowest slot index), so a topology is a
+pure function of its construction sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ClusterError
+from ..hashes.registry import get_hash
+
+__all__ = ["NUM_SLOTS", "ClusterTopology", "slot_for_key"]
+
+#: Redis Cluster's hash-slot count; a power of two, so the slot of a
+#: hash is a mask rather than a modulo
+NUM_SLOTS = 16384
+
+
+def slot_for_key(key: bytes, fast_hash: str = "xxh3",
+                 num_slots: int = NUM_SLOTS) -> int:
+    """The hash slot owning ``key`` (fast-path hash modulo slots)."""
+    return get_hash(fast_hash)(key) % num_slots
+
+
+class ClusterTopology:
+    """Slot-to-node assignment with replicas and minimal-remap moves."""
+
+    def __init__(self, num_nodes: int, replicas: int = 0,
+                 num_slots: int = NUM_SLOTS) -> None:
+        if num_nodes < 1:
+            raise ClusterError("a cluster needs at least one node")
+        if not 0 <= replicas < num_nodes:
+            raise ClusterError(
+                f"replica count {replicas} needs at least "
+                f"{replicas + 1} nodes (got {num_nodes})")
+        if num_slots < num_nodes:
+            raise ClusterError("need at least one slot per node")
+        self.num_slots = num_slots
+        self.replicas = replicas
+        #: sorted active node ids (the replica-placement ring)
+        self.node_ids: List[int] = list(range(num_nodes))
+        #: slot index -> owning (primary) node id
+        self.slot_owner: List[int] = [0] * num_slots
+        # balanced contiguous ranges, Redis Cluster's default layout:
+        # node i owns slots [i * S / N, (i + 1) * S / N)
+        for i in range(num_nodes):
+            lo = i * num_slots // num_nodes
+            hi = (i + 1) * num_slots // num_nodes
+            for slot in range(lo, hi):
+                self.slot_owner[slot] = i
+        self._next_id = num_nodes
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    def owner(self, slot: int) -> int:
+        """The primary node of ``slot``."""
+        return self.slot_owner[slot]
+
+    def replicas_of(self, slot: int) -> Tuple[int, ...]:
+        """The replica nodes of ``slot``: the ring successors of its
+        primary, in ring order (empty for a replica-less cluster)."""
+        if not self.replicas:
+            return ()
+        ring = self.node_ids
+        start = ring.index(self.slot_owner[slot])
+        n = len(ring)
+        return tuple(ring[(start + k) % n]
+                     for k in range(1, self.replicas + 1))
+
+    def read_set(self, slot: int) -> Tuple[int, ...]:
+        """Every node a read of ``slot`` may legally be served from."""
+        return (self.slot_owner[slot],) + self.replicas_of(slot)
+
+    def slots_of(self, node: int) -> List[int]:
+        """All slots whose primary is ``node`` (ascending)."""
+        return [s for s, owner in enumerate(self.slot_owner)
+                if owner == node]
+
+    def counts(self) -> Dict[int, int]:
+        """Primary slot count per active node (zero-filled)."""
+        counts = {node: 0 for node in self.node_ids}
+        for owner in self.slot_owner:
+            counts[owner] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # membership (minimal remap)
+    # ------------------------------------------------------------------
+
+    def add_node(self) -> int:
+        """Join a fresh node, stealing an equal share of slots.
+
+        Exactly ``num_slots // new_node_count`` slots move, each the
+        highest-indexed slot of whichever surviving node currently owns
+        the most (tie: lowest node id); no slot changes hands between
+        two surviving nodes.  Returns the new node's id.
+        """
+        new_id = self._next_id
+        self._next_id += 1
+        donors = list(self.node_ids)
+        counts = self.counts()
+        owned: Dict[int, List[int]] = {node: [] for node in donors}
+        for slot, owner in enumerate(self.slot_owner):
+            owned[owner].append(slot)  # ascending by construction
+        share = self.num_slots // (self.num_nodes + 1)
+        for _ in range(share):
+            donor = max(donors, key=lambda n: (counts[n], -n))
+            slot = owned[donor].pop()  # the donor's highest slot
+            counts[donor] -= 1
+            self.slot_owner[slot] = new_id
+        self.node_ids.append(new_id)
+        self.node_ids.sort()
+        return new_id
+
+    def remove_node(self, node: int) -> List[int]:
+        """Leave: redistribute exactly the leaver's slots.
+
+        Each orphaned slot (ascending) goes to whichever survivor
+        currently owns the fewest (tie: lowest id), so only the
+        leaver's slots change owner and the survivors stay balanced.
+        Returns the remapped slot indices.
+        """
+        if node not in self.node_ids:
+            raise ClusterError(f"node {node} is not in the cluster")
+        if self.num_nodes == 1:
+            raise ClusterError("cannot remove the last node")
+        if self.replicas >= self.num_nodes - 1:
+            raise ClusterError(
+                f"cannot drop to {self.num_nodes - 1} node(s) with "
+                f"{self.replicas} replica(s) per slot")
+        counts = self.counts()
+        counts.pop(node, None)
+        orphans = [s for s, owner in enumerate(self.slot_owner)
+                   if owner == node]
+        self.node_ids.remove(node)
+        for slot in orphans:
+            heir = min(self.node_ids, key=lambda n: (counts[n], n))
+            self.slot_owner[slot] = heir
+            counts[heir] += 1
+        return orphans
+
+    # ------------------------------------------------------------------
+    # migration primitive
+    # ------------------------------------------------------------------
+
+    def move_slot(self, slot: int, dst: int) -> int:
+        """Reassign one slot (the commit step of a live migration).
+
+        Returns the previous owner.  The caller (the migration
+        scheduler) is responsible for the ASK window that precedes the
+        commit; the topology itself only ever reflects *committed*
+        ownership — exactly like the kernel page table vs the STLT.
+        """
+        if not 0 <= slot < self.num_slots:
+            raise ClusterError(f"slot {slot} out of range")
+        if dst not in self.node_ids:
+            raise ClusterError(f"node {dst} is not in the cluster")
+        prev = self.slot_owner[slot]
+        self.slot_owner[slot] = dst
+        return prev
+
+    # ------------------------------------------------------------------
+
+    def assignment(self) -> Sequence[int]:
+        """A read-only copy of the slot-owner table (for diffing)."""
+        return tuple(self.slot_owner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ClusterTopology(nodes={self.node_ids}, "
+                f"replicas={self.replicas}, slots={self.num_slots})")

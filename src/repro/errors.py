@@ -60,3 +60,16 @@ class CoherenceError(ReproError):
 
 class FaultInjectionError(ReproError):
     """A chaos fault plan was malformed or could not be applied."""
+
+
+class ClusterError(ReproError):
+    """The cluster model was misconfigured or lost coherence.
+
+    Raised for invalid topologies (replicas without enough nodes,
+    removing the last node), malformed network parameters, and — the
+    loud-failure case — when the cluster routing oracle catches a
+    request served by a node that does not authoritatively own the
+    key's hash slot (the cluster-scale analogue of
+    :class:`CoherenceError`: a stale route must cost a redirect, never
+    a wrong answer).
+    """

@@ -30,12 +30,14 @@ Typical use::
 from .progress import NullProgress, ProgressReporter
 from .reporting import (
     churn_table,
+    cluster_table,
     latency_table,
     max_rate_under_slo,
     metrics_from_record,
     scaling_table,
     speedup_table,
     summary_table,
+    sweep_summary,
 )
 from .runner import (
     STATUS_CACHED,
@@ -53,6 +55,7 @@ from .spec import (
     get_sweep,
     points_from_configs,
     size_sweep_points,
+    sweep_descriptions,
 )
 from .store import ResultStore, make_record
 
@@ -71,6 +74,7 @@ __all__ = [
     "SweepSpec",
     "builtin_sweeps",
     "churn_table",
+    "cluster_table",
     "get_sweep",
     "latency_table",
     "make_record",
@@ -81,4 +85,6 @@ __all__ = [
     "scaling_table",
     "speedup_table",
     "summary_table",
+    "sweep_descriptions",
+    "sweep_summary",
 ]

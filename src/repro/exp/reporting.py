@@ -21,7 +21,7 @@ from ..sim.results import RunResult, format_table
 
 __all__ = ["metrics_from_record", "summary_table", "speedup_table",
            "scaling_table", "latency_table", "max_rate_under_slo",
-           "churn_table"]
+           "churn_table", "cluster_table", "sweep_summary"]
 
 
 def metrics_from_record(record: dict) -> dict:
@@ -76,6 +76,22 @@ def metrics_from_record(record: dict) -> dict:
         "svc_timeouts": _service_field(result, "timeouts"),
         "svc_hedges": _service_field(result, "hedges"),
         "svc_fallbacks": _service_field(result, "fallbacks"),
+        # cluster overlay (PR 5): None for single-node runs, so the
+        # dict shape stays uniform across sweeps
+        "nodes": _cluster_field(result, "nodes") or 1,
+        "cluster_throughput": _cluster_field(result,
+                                             "achieved_throughput"),
+        "cluster_p99": _cluster_field(result, "latency", "p99"),
+        "cluster_p999": _cluster_field(result, "latency", "p999"),
+        "cluster_fairness": _cluster_field(result, "fairness"),
+        "route_hits": _cluster_field(result, "route_hits"),
+        "route_stale_hits": _cluster_field(result, "route_stale_hits"),
+        "route_misses": _cluster_field(result, "route_misses"),
+        "moved_redirects": _cluster_field(result, "moved_redirects"),
+        "ask_redirects": _cluster_field(result, "ask_redirects"),
+        "migrations_committed": _cluster_field(result, "migration",
+                                               "committed"),
+        "route_violations": _cluster_field(result, "oracle_violations"),
     }
 
 
@@ -92,6 +108,16 @@ def _service_field(result: RunResult, *path):
 def _chaos_field(result: RunResult, *path):
     """Walk into ``result.chaos`` (None-safe for quiet runs)."""
     node = result.chaos
+    for key in path:
+        if not isinstance(node, dict):
+            return None
+        node = node.get(key)
+    return node
+
+
+def _cluster_field(result: RunResult, *path):
+    """Walk into ``result.cluster`` (None-safe for single-node runs)."""
+    node = result.cluster
     for key in path:
         if not isinstance(node, dict):
             return None
@@ -191,6 +217,11 @@ def _group_key(config: dict) -> Tuple:
         # the *same* churn (speedup retention compares like with like)
         config.get("churn_rate"),
         tuple(config.get("fault_plan") or ()),
+        # cluster knobs: a baseline only anchors runs in the same
+        # cluster regime (node count, network, migration pressure)
+        config.get("nodes"),
+        config.get("net_rtt_cycles"),
+        config.get("migrate_rate"),
         config.get("seed"),
     )
 
@@ -356,6 +387,90 @@ def churn_table(records: Iterable[dict]) -> str:
         ["program", "frontend", "churn", "base cyc/op", "accel cyc/op",
          "speedup", "retention", "IPB ovfl", "rows scrubbed", "oracle"],
         rows)
+
+
+def cluster_table(records: Iterable[dict]) -> str:
+    """Cluster scaling: throughput vs nodes, route-cache economics.
+
+    One row per record carrying a ``cluster`` payload, grouped by
+    (program, route-cache setting) and sorted by node count so each
+    scaling curve reads top to bottom.  The scaling column normalises
+    achieved throughput against the group's nodes=1 anchor (same
+    client/network path, one shard); the route columns show the
+    address-centric story — cached slot routes served without a MOVED
+    bounce, stale routes dying by redirect, never by a wrong answer
+    (the oracle column is the proof).
+    """
+    rows_in = []
+    for record in records:
+        cluster = record.get("result", {}).get("cluster")
+        if not cluster:
+            continue
+        config = record.get("config", {})
+        rows_in.append((config.get("program"), cluster))
+    if not rows_in:
+        return "(no cluster records)"
+
+    anchors: Dict[Tuple, float] = {}
+    for program, cluster in rows_in:
+        if cluster.get("nodes") == 1 and cluster.get("achieved_throughput"):
+            anchors[(program, cluster.get("route_cache"))] = (
+                cluster["achieved_throughput"])
+
+    rows: List[List[str]] = []
+    for program, cluster in sorted(
+            rows_in,
+            key=lambda r: (str(r[0]), not r[1].get("route_cache", True),
+                           r[1].get("nodes", 0))):
+        anchor = anchors.get((program, cluster.get("route_cache")))
+        throughput = cluster.get("achieved_throughput", 0.0)
+        scaling = f"{throughput / anchor:.2f}x" if anchor else "-"
+        lookups = (cluster.get("route_hits", 0)
+                   + cluster.get("route_stale_hits", 0)
+                   + cluster.get("route_misses", 0))
+        hit_rate = (f"{cluster.get('route_hits', 0) / lookups:.0%}"
+                    if lookups else "-")
+        latency = cluster.get("latency", {})
+        fairness = cluster.get("fairness")
+        violations = cluster.get("oracle_violations", 0)
+        rows.append([
+            str(program),
+            str(cluster.get("nodes", "?")),
+            "on" if cluster.get("route_cache", True) else "off",
+            f"{throughput:.5f}",
+            scaling,
+            f"{latency.get('p99', 0.0):.0f}",
+            "-" if fairness is None else f"{fairness:.3f}",
+            hit_rate,
+            str(cluster.get("moved_redirects", 0)),
+            str(cluster.get("ask_redirects", 0)),
+            "OK" if violations == 0 else f"{violations} VIOLATIONS",
+        ])
+    return format_table(
+        ["program", "nodes", "cache", "req/cycle", "scaling", "p99",
+         "fairness", "route hits", "MOVED", "ASK", "oracle"],
+        rows)
+
+
+def sweep_summary(report, wall_seconds: float) -> dict:
+    """The machine-readable roll-up of one sweep invocation.
+
+    Consumed by ``repro sweep --json``: besides the outcome counters,
+    it distinguishes *store hits* (results served from the durable
+    store without simulating) from *store misses* (points that had to
+    run), and carries the wall-clock seconds of the whole invocation —
+    the at-a-glance answer to "how much did the cache save me".
+    """
+    return {
+        "runs": len(report.outcomes),
+        "completed": report.completed,
+        "cached": report.cached,
+        "failed": len(report.failed),
+        "store_hits": report.cached,
+        "store_misses": report.completed,
+        "wall_seconds": wall_seconds,
+        "ok": report.ok,
+    }
 
 
 def max_rate_under_slo(records: Iterable[dict],

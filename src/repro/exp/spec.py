@@ -38,7 +38,9 @@ __all__ = [
     "points_from_configs",
     "rows_for_ratio",
     "size_sweep_points",
+    "sweep_descriptions",
     "CHURN_SWEEP_RATES",
+    "CLUSTER_SWEEP_NODES",
     "CORE_SWEEP_COUNTS",
     "LOAD_SWEEP_LOADS",
     "SIZE_SWEEP_RATIOS",
@@ -382,14 +384,66 @@ def _churn_points() -> List[SweepPoint]:
     return spec.expand()
 
 
-#: named campaigns runnable as ``repro sweep <name>``
-_BUILTIN: Dict[str, Callable[[], List[SweepPoint]]] = {
-    "smoke": _smoke_points,
-    "smoke_mc": _smoke_mc_points,
-    "size": _size_points,
-    "cores": _cores_points,
-    "load": _load_points,
-    "churn": _churn_points,
+#: node counts of the cluster scaling sweep — the pin is near-linear
+#: aggregate throughput (>= 6x at 8 nodes under a uniform keyspace)
+CLUSTER_SWEEP_NODES: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def _scale_points() -> List[SweepPoint]:
+    """Cluster throughput scaling: node count x {route cache on, off}.
+
+    Every point runs the same per-node engines (stlt front-end, uniform
+    keys so no shard is pathologically hot) behind the cluster overlay
+    at a deliberately saturating offered load — achieved throughput then
+    tracks aggregate capacity, so the nodes axis reads as a scaling
+    curve (:func:`repro.exp.reporting.cluster_table`).  The network is
+    *not* quiet (a real client/node RTT), so the route-cache axis shows
+    the address-centric story at cluster scale: cached slot routes skip
+    the MOVED bounce exactly like cached translations skip the page
+    walk.  The nodes=1 point runs through the same overlay (one shard,
+    same RTT) and anchors the scaling ratio.
+    """
+    import os
+    num_keys = int(os.environ.get("REPRO_BENCH_KEYS", "8000"))
+    measure_ops = int(os.environ.get("REPRO_BENCH_OPS", "1500"))
+    spec = SweepSpec(
+        name="scale",
+        base=dict(num_keys=num_keys, measure_ops=measure_ops,
+                  frontend="stlt", distribution="uniform",
+                  num_cores=2, offered_load=2.0,
+                  net_rtt_cycles=300.0),
+        grid={
+            "route_cache": [True, False],
+            "nodes": list(CLUSTER_SWEEP_NODES),
+        },
+    )
+    return spec.expand()
+
+
+#: named campaigns runnable as ``repro sweep <name>``; each entry is
+#: (point factory, one-line description for ``repro sweep --list``)
+_BUILTIN: Dict[str, Tuple[Callable[[], List[SweepPoint]], str]] = {
+    "smoke": (
+        _smoke_points,
+        "tiny CI campaign: 2 programs x 3 front-ends in seconds"),
+    "smoke_mc": (
+        _smoke_mc_points,
+        "two-core smoke: interleaver, shared STLT, aggregate results"),
+    "size": (
+        _size_points,
+        "Figs. 14-16: program x STLT/SLB size ratio, shared baselines"),
+    "cores": (
+        _cores_points,
+        "core-count scalability: baseline vs shared-STLT throughput"),
+    "load": (
+        _load_points,
+        "open-loop throughput-latency curves per front-end (p99 vs load)"),
+    "churn": (
+        _churn_points,
+        "robustness under OS churn with the stale-translation oracle"),
+    "scale": (
+        _scale_points,
+        "cluster node scaling x route cache on/off over a real RTT"),
 }
 
 
@@ -397,10 +451,15 @@ def builtin_sweeps() -> List[str]:
     return sorted(_BUILTIN)
 
 
+def sweep_descriptions() -> Dict[str, str]:
+    """Name -> one-line description, for ``repro sweep --list``."""
+    return {name: _BUILTIN[name][1] for name in builtin_sweeps()}
+
+
 def get_sweep(name: str) -> List[SweepPoint]:
     """Expand a named sweep; raises ``ConfigError`` for unknown names."""
     try:
-        factory = _BUILTIN[name]
+        factory, _ = _BUILTIN[name]
     except KeyError:
         raise ConfigError(
             f"unknown sweep {name!r}; available: {builtin_sweeps()!r}"

@@ -110,6 +110,36 @@ class RunConfig:
     #: mitigation: SLO-aware fallback — arrivals route around cores
     #: whose backlog exceeds the fleet's by the fallback threshold
     svc_fallback: bool = False
+    #: cluster: number of sharded nodes, each a full multi-core engine
+    #: (1 = the plain single-node path, untouched by the cluster layer)
+    nodes: int = 1
+    #: cluster: replica nodes per hash slot (ring successors of the
+    #: primary); reads may be served from replicas when
+    #: ``replica_reads`` is set
+    replicas: int = 0
+    #: cluster: whether clients keep a slot -> node route cache (the
+    #: cluster-scale STLT); off = every request bootstraps through an
+    #: arbitrary node and eats a MOVED hop
+    route_cache: bool = True
+    #: cluster: requests a client pipelines per batch window (followers
+    #: share the batch head's propagation delay)
+    client_batch: int = 1
+    #: cluster: clients generating the open-loop request stream
+    cluster_clients: int = 8
+    #: cluster: serve GETs from slot replicas (rotating over the
+    #: primary + replicas) instead of the primary only
+    replica_reads: bool = False
+    #: cluster: per-request probability that a live slot migration
+    #: starts (scheduled through the repro.chaos machinery; requests
+    #: in the window take ASK redirects, cached routes go stale on
+    #: commit); 0 disables migration entirely.  On a one-node fleet
+    #: every drawn event counts as skipped — there is nowhere to move
+    #: a slot to
+    migrate_rate: float = 0.0
+    #: cluster: client <-> node network round-trip in core cycles;
+    #: 0 = the quiet network (all transfers free — the bit-identity
+    #: anchor for one-node cluster runs)
+    net_rtt_cycles: float = 0.0
     seed: int = 1
     #: the ratio-preserving scaled machine (params.scaled_machine); pass
     #: params.DEFAULT_MACHINE for the literal Table III configuration
@@ -155,6 +185,25 @@ class RunConfig:
             raise ConfigError("service backoff multiplier must be >= 1")
         if self.svc_hedge is not None and self.svc_hedge <= 0:
             raise ConfigError("service hedge delay must be positive")
+        if self.nodes < 1:
+            raise ConfigError("a cluster needs at least one node")
+        if self.replicas < 0:
+            raise ConfigError("replica count cannot be negative")
+        if self.replicas and self.replicas >= self.nodes \
+                and self.cluster_enabled:
+            # on the plain single-node path the knob is inert; a run
+            # that actually builds a topology needs replicas < nodes
+            raise ConfigError(
+                f"{self.replicas} replica(s) per slot need at least "
+                f"{self.replicas + 1} nodes (got {self.nodes})")
+        if self.client_batch < 1:
+            raise ConfigError("client batch must be >= 1")
+        if self.cluster_clients < 1:
+            raise ConfigError("need at least one cluster client")
+        if not 0.0 <= self.migrate_rate <= 1.0:
+            raise ConfigError("migration rate must be within [0, 1]")
+        if self.net_rtt_cycles < 0:
+            raise ConfigError("network RTT cannot be negative")
 
     # -- derived defaults -------------------------------------------------
 
@@ -191,6 +240,28 @@ class RunConfig:
     def chaos_enabled(self) -> bool:
         """Whether this run constructs a chaos injector at all."""
         return self.churn_rate > 0.0 or bool(self.fault_plan)
+
+    @property
+    def cluster_enabled(self) -> bool:
+        """Whether the run goes through the cluster overlay at all.
+
+        A quiet-network single node (``nodes == 1`` and
+        ``net_rtt_cycles == 0``) stays on the plain single-node path
+        (pinned bit-identical by the golden tests) even when other
+        cluster-only knobs sit at non-defaults — they have no one-node
+        meaning.  A non-zero network RTT puts even a one-node run
+        through the overlay so scaling sweeps get a like-for-like
+        nodes=1 anchor (same client/network path, one shard).
+        """
+        return self.nodes > 1 or self.net_rtt_cycles > 0
+
+    @property
+    def effective_cluster_requests(self) -> int:
+        """Cluster overlay requests: explicit count, or one measured
+        window per node (``nodes x num_cores x measure_ops``)."""
+        if self.service_requests is not None:
+            return self.service_requests
+        return self.nodes * self.num_cores * self.measure_ops
 
     @property
     def mitigation_enabled(self) -> bool:
@@ -265,6 +336,20 @@ class RunConfig:
             base = f"{base}~fault{len(self.fault_plan)}"
         if self.mitigation_enabled:
             base = f"{base}+mit"
+        if self.cluster_enabled:
+            base = f"{base}%{self.nodes}n"
+            if self.replicas:
+                base = f"{base}-r{self.replicas}"
+            if not self.route_cache:
+                base = f"{base}-norc"
+            if self.client_batch > 1:
+                base = f"{base}-b{self.client_batch}"
+            if self.replica_reads:
+                base = f"{base}-rr"
+            if self.migrate_rate > 0.0:
+                base = f"{base}~mig{self.migrate_rate:g}"
+            if self.net_rtt_cycles > 0.0:
+                base = f"{base}+net{self.net_rtt_cycles:g}"
         return base
 
 

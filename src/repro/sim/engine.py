@@ -328,5 +328,14 @@ class Engine:
 
 
 def run_experiment(config: RunConfig) -> RunResult:
-    """Convenience wrapper: build an engine and run it."""
+    """Convenience wrapper: build an engine (or a fleet) and run it.
+
+    Multi-node configs dispatch to the cluster layer, which runs one
+    engine per node plus the request-routing overlay; single-node
+    configs run the plain engine exactly as before (the golden tests
+    pin this path bit-identical across the cluster work).
+    """
+    if config.cluster_enabled:
+        from ..cluster.service import run_cluster  # avoid a cycle
+        return run_cluster(config)
     return Engine(config).run()

@@ -55,6 +55,13 @@ class RunResult:
     #: (:func:`repro.chaos.report.build_chaos_report` — injector event
     #: counters, IPB/scrub statistics, zero-violation oracle verdict)
     chaos: Optional[dict] = None
+    #: cluster runs only: the fleet-level outcome
+    #: (:class:`repro.cluster.service.ClusterResult` as a plain dict —
+    #: merged latency percentiles/histogram, per-node fairness, route
+    #: cache and redirect telemetry, migration and network reports).
+    #: For multi-node runs the top-level counters are the cross-node
+    #: aggregate and ``cores`` holds the per-*node* result dicts.
+    cluster: Optional[dict] = None
 
     @property
     def cycles_per_op(self) -> float:
@@ -97,6 +104,13 @@ class RunResult:
             return None
         from ..svc.service import ServiceResult  # avoid an import cycle
         return ServiceResult.from_dict(self.service)
+
+    def cluster_result(self):
+        """Re-hydrate the cluster-level outcome, or ``None``."""
+        if self.cluster is None:
+            return None
+        from ..cluster.service import ClusterResult  # avoid a cycle
+        return ClusterResult.from_dict(self.cluster)
 
     @property
     def tlb_misses(self) -> int:

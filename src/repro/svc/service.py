@@ -36,6 +36,7 @@ from typing import Deque, Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, ReproError
 from ..hashes.registry import get_hash
+from ..params import derive_seed
 from ..workloads.distributions import make_chooser
 from ..workloads.keys import key_bytes
 from .arrival import make_arrivals
@@ -44,11 +45,6 @@ from .histogram import DEFAULT_PRECISION, LatencyHistogram
 
 __all__ = ["Mitigation", "ServiceResult", "mitigation_from_config",
            "simulate_service", "service_from_config"]
-
-#: seed salts keeping the service layer's random streams independent of
-#: the workload generator's (which uses ``seed`` and ``seed ^ 0x5EED``)
-_ARRIVAL_SALT = 0xA221
-_KEYSTREAM_SALT = 0x5E12
 
 
 @dataclass(frozen=True)
@@ -518,10 +514,12 @@ def service_from_config(config, service_cycles: Sequence[Sequence[int]],
         raise ConfigError("closed-loop throughput must be positive")
     rate = config.offered_load * closed_loop_throughput
     count = config.effective_service_requests
+    # seed streams are namespaced (repro.params.derive_seed) so the
+    # service layer's draws stay independent of the workload generator's
     arrivals = make_arrivals(config.arrival_process, rate, count,
-                             seed=config.seed ^ _ARRIVAL_SALT)
+                             seed=derive_seed(config.seed, "svc_arrival"))
     chooser = make_chooser(config.distribution, config.num_keys,
-                           seed=config.seed ^ _KEYSTREAM_SALT)
+                           seed=derive_seed(config.seed, "svc_keystream"))
     key_ids = [chooser.choose() for _ in range(count)]
     fast_hash = get_hash(config.fast_hash)
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
 from ..errors import ConfigError
+from ..params import derive_seed
 from .distributions import make_chooser
 
 
@@ -72,7 +73,7 @@ def generate_operations(
     if new_id_stride < 1:
         raise ConfigError("new-key id stride must be positive")
     chooser = make_chooser(spec.distribution, num_keys, seed=seed)
-    op_rng = random.Random(seed ^ 0x5EED)
+    op_rng = random.Random(derive_seed(seed, "workload_ops"))
     base_new_id = num_keys if first_new_id is None else first_new_id
 
     # The chooser works over *dense* logical ids [0, n); fresh keys map

@@ -1,0 +1,132 @@
+"""Unit tests for cluster clients (`repro.cluster.client`)."""
+
+import pytest
+
+from repro.cluster.client import ClusterClient, RouteCache
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ClusterError
+
+
+def _client(**kwargs):
+    defaults = dict(client_id=0, num_nodes=4, seed=7)
+    defaults.update(kwargs)
+    return ClusterClient(**defaults)
+
+
+class TestRouteCache:
+    def test_learn_lookup_invalidate(self):
+        cache = RouteCache()
+        assert cache.lookup(5) is None
+        cache.learn(5, 2)
+        assert cache.lookup(5) == 2
+        assert len(cache) == 1
+        cache.invalidate(5)
+        assert cache.lookup(5) is None
+        cache.invalidate(5)  # idempotent
+
+    def test_report_carries_counters(self):
+        cache = RouteCache()
+        cache.hits, cache.stale_hits, cache.misses = 3, 1, 2
+        cache.learn(0, 0)
+        assert cache.report() == {"hits": 3, "stale_hits": 1,
+                                  "misses": 2, "entries": 1}
+
+
+class TestRouting:
+    def test_cold_lookup_is_a_miss_to_a_bootstrap_node(self):
+        topo = ClusterTopology(4)
+        client = _client()
+        node, kind = client.target_for(0, topo, is_read=True)
+        assert kind == "miss"
+        assert 0 <= node < 4
+        assert client.cache.misses == 1
+
+    def test_served_route_hits_on_the_next_touch(self):
+        topo = ClusterTopology(4)
+        client = _client()
+        slot = topo.slots_of(2)[0]
+        client.on_served(slot, 2)
+        node, kind = client.target_for(slot, topo, is_read=True)
+        assert (node, kind) == (2, "hit")
+        assert client.cache.hits == 1
+
+    def test_committed_move_makes_the_route_stale(self):
+        topo = ClusterTopology(4)
+        client = _client()
+        slot = topo.slots_of(0)[0]
+        client.on_served(slot, 0)
+        topo.move_slot(slot, 3)
+        node, kind = client.target_for(slot, topo, is_read=True)
+        # the stale row is *followed* (the contacted node will MOVED)
+        assert (node, kind) == (0, "stale")
+        client.on_moved(slot, 3)
+        node, kind = client.target_for(slot, topo, is_read=True)
+        assert (node, kind) == (3, "hit")
+
+    def test_cacheless_client_always_bootstraps(self):
+        topo = ClusterTopology(4)
+        client = _client(route_cache=False)
+        assert client.cache is None
+        for _ in range(8):
+            node, kind = client.target_for(0, topo, is_read=True)
+            assert kind == "miss"
+        client.on_served(0, topo.owner(0))  # a no-op without a cache
+        _, kind = client.target_for(0, topo, is_read=True)
+        assert kind == "miss"
+
+    def test_replica_reads_rotate_over_the_read_set(self):
+        topo = ClusterTopology(4, replicas=2)
+        client = _client(replica_reads=True)
+        slot = topo.slots_of(0)[0]
+        client.on_served(slot, 0)
+        seen = {client.target_for(slot, topo, is_read=True)[0]
+                for _ in range(64)}
+        assert seen == set(topo.read_set(slot))
+
+    def test_cached_replica_still_counts_as_a_hit(self):
+        topo = ClusterTopology(3, replicas=1)
+        client = _client(num_nodes=3)
+        slot = topo.slots_of(0)[0]
+        replica = topo.replicas_of(slot)[0]
+        client.on_served(slot, replica)
+        _, kind = client.target_for(slot, topo, is_read=True)
+        assert kind == "hit"
+
+
+class TestPipelining:
+    def test_batch_head_and_followers(self):
+        client = _client(batch=3)
+        assert client.begin_request(1) is True    # head
+        assert client.begin_request(1) is False   # follower
+        assert client.begin_request(1) is False   # follower
+        assert client.begin_request(1) is True    # new window
+
+    def test_node_change_restarts_the_window(self):
+        client = _client(batch=4)
+        assert client.begin_request(1) is True
+        assert client.begin_request(2) is True  # different node
+        assert client.begin_request(2) is False
+
+    def test_unbatched_requests_always_pay_propagation(self):
+        client = _client(batch=1)
+        assert all(client.begin_request(0) for _ in range(5))
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            _client(batch=0)
+        with pytest.raises(ClusterError):
+            _client(num_nodes=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bootstrap_stream(self):
+        a = _client(seed=11)
+        b = _client(seed=11)
+        assert [a.bootstrap_node() for _ in range(32)] == \
+            [b.bootstrap_node() for _ in range(32)]
+
+    def test_different_seed_different_stream(self):
+        a = _client(seed=11)
+        b = _client(seed=12)
+        assert [a.bootstrap_node() for _ in range(32)] != \
+            [b.bootstrap_node() for _ in range(32)]

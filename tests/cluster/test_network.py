@@ -1,0 +1,103 @@
+"""Unit tests for the cluster network model (`repro.cluster.network`)."""
+
+import pytest
+
+from repro.cluster.network import (
+    DEFAULT_BYTES_PER_CYCLE,
+    REQUEST_HEADER_BYTES,
+    ClusterNetwork,
+)
+from repro.errors import ClusterError
+
+RTT = 200.0
+
+
+class TestQuietNetwork:
+    def test_zero_rtt_transfers_are_free(self):
+        net = ClusterNetwork(0.0)
+        assert net.quiet
+        assert net.one_way("a", "b", 10_000, at=42.0) == 42.0
+        assert net.round_trip("a", "b", 64, 128, at=7.0) == 7.0
+        # and untracked: the quiet network is the bit-identity anchor
+        report = net.report()
+        assert report["transfers"] == 0
+        assert report["bytes_moved"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            ClusterNetwork(-1.0)
+        with pytest.raises(ClusterError):
+            ClusterNetwork(100.0, bytes_per_cycle=0.0)
+        with pytest.raises(ClusterError):
+            ClusterNetwork(100.0).one_way("a", "b", -1, 0.0)
+
+
+class TestLatencyMath:
+    def test_one_way_is_serialization_plus_half_rtt(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        delivery = net.one_way("a", "b", 80, at=0.0)
+        assert delivery == pytest.approx(80 / 8.0 + RTT / 2.0)
+
+    def test_follower_skips_propagation(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        delivery = net.one_way("a", "b", 80, at=0.0, propagate=False)
+        assert delivery == pytest.approx(80 / 8.0)
+
+    def test_round_trip_pays_both_directions(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        delivery = net.round_trip("a", "b", 64, 128, at=0.0)
+        assert delivery == pytest.approx(64 / 8.0 + 128 / 8.0 + RTT)
+
+
+class TestLinkContention:
+    def test_same_link_transfers_serialise(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        first = net.one_way("a", "b", 800, at=0.0)   # busy [0, 100)
+        second = net.one_way("a", "b", 800, at=0.0)  # queues behind it
+        assert second == pytest.approx(first + 100.0)
+        assert net.link_wait_cycles == pytest.approx(100.0)
+
+    def test_directed_links_are_independent(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        forward = net.one_way("a", "b", 800, at=0.0)
+        reverse = net.one_way("b", "a", 800, at=0.0)
+        assert reverse == forward  # no shared queue
+        assert net.link_wait_cycles == 0.0
+
+    def test_interval_scheduling_keeps_the_timeline_causal(self):
+        """A transfer reserved far in the future must not delay a
+        later-*processed* transfer that departs earlier — the overlay
+        reserves whole request trajectories in arrival order, so
+        responses land on links long before earlier control messages
+        are processed (the single free-at clock bug)."""
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        # a response reserved at t=10000 (processed first)
+        late = net.one_way("n0", "c", 800, at=10_000.0)
+        assert late == pytest.approx(10_100.0 + RTT / 2.0)
+        # an early MOVED reply processed afterwards: fits in the gap
+        early = net.one_way("n0", "c", 48, at=0.0)
+        assert early == pytest.approx(48 / 8.0 + RTT / 2.0)
+        assert net.link_wait_cycles == 0.0
+
+    def test_gap_scheduling_fills_earliest_fit(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        net.one_way("a", "b", 80, at=0.0)     # busy [0, 10)
+        net.one_way("a", "b", 80, at=50.0)    # busy [50, 60)
+        # a 40-byte (5-cycle) transfer at t=2 fits the [10, 50) gap
+        delivery = net.one_way("a", "b", 40, at=2.0)
+        assert delivery == pytest.approx(10.0 + 5.0 + RTT / 2.0)
+        # a 400-byte (50-cycle) transfer at t=2 must wait past both
+        delivery = net.one_way("a", "b", 400, at=2.0)
+        assert delivery == pytest.approx(60.0 + 50.0 + RTT / 2.0)
+
+
+class TestTelemetry:
+    def test_report_counts_transfers_and_bytes(self):
+        net = ClusterNetwork(RTT)
+        net.one_way("a", "b", REQUEST_HEADER_BYTES, at=0.0)
+        net.one_way("b", "a", 128, at=5.0)
+        report = net.report()
+        assert report["transfers"] == 2
+        assert report["bytes_moved"] == REQUEST_HEADER_BYTES + 128
+        assert report["rtt_cycles"] == RTT
+        assert report["bytes_per_cycle"] == DEFAULT_BYTES_PER_CYCLE

@@ -1,0 +1,120 @@
+"""Unit tests for hash-slot sharding (`repro.cluster.topology`)."""
+
+import pytest
+
+from repro.cluster.topology import NUM_SLOTS, ClusterTopology, slot_for_key
+from repro.errors import ClusterError
+
+
+class TestSlotForKey:
+    def test_slot_is_in_range(self):
+        for key_id in range(100):
+            slot = slot_for_key(f"key-{key_id}".encode())
+            assert 0 <= slot < NUM_SLOTS
+
+    def test_slot_is_deterministic(self):
+        assert slot_for_key(b"alpha") == slot_for_key(b"alpha")
+
+    def test_slot_tracks_the_fast_hash(self):
+        """Sharding reuses the registered fast-path hashes, so changing
+        the hash function reshards (most of) the keyspace."""
+        keys = [f"key-{i}".encode() for i in range(64)]
+        xxh3 = [slot_for_key(k, "xxh3") for k in keys]
+        xxh64 = [slot_for_key(k, "xxh64") for k in keys]
+        assert xxh3 != xxh64
+
+
+class TestConstruction:
+    def test_initial_layout_is_balanced_contiguous_ranges(self):
+        topo = ClusterTopology(4)
+        counts = topo.counts()
+        assert set(counts) == {0, 1, 2, 3}
+        assert all(c == NUM_SLOTS // 4 for c in counts.values())
+        # contiguous: node of slot s is monotone non-decreasing
+        owners = topo.assignment()
+        assert list(owners) == sorted(owners)
+
+    def test_single_node_owns_everything(self):
+        topo = ClusterTopology(1)
+        assert topo.counts() == {0: NUM_SLOTS}
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            ClusterTopology(0)
+        with pytest.raises(ClusterError):
+            ClusterTopology(2, replicas=2)  # needs 3 nodes
+        with pytest.raises(ClusterError):
+            ClusterTopology(4, num_slots=2)
+
+
+class TestReplicas:
+    def test_replicas_are_ring_successors(self):
+        topo = ClusterTopology(4, replicas=2)
+        slot = topo.slots_of(1)[0]
+        assert topo.replicas_of(slot) == (2, 3)
+        slot = topo.slots_of(3)[0]
+        assert topo.replicas_of(slot) == (0, 1)  # ring wraps
+
+    def test_read_set_is_primary_plus_replicas(self):
+        topo = ClusterTopology(3, replicas=1)
+        slot = topo.slots_of(0)[0]
+        assert topo.read_set(slot) == (0, 1)
+
+    def test_no_replicas_means_primary_only(self):
+        topo = ClusterTopology(3)
+        assert topo.replicas_of(0) == ()
+        assert topo.read_set(0) == (topo.owner(0),)
+
+
+class TestMembership:
+    def test_add_node_steals_an_equal_share(self):
+        topo = ClusterTopology(3)
+        before = topo.assignment()
+        new_id = topo.add_node()
+        assert new_id == 3
+        moved = [s for s, (a, b) in
+                 enumerate(zip(before, topo.assignment())) if a != b]
+        assert len(moved) == NUM_SLOTS // 4
+        # every moved slot went to the joiner, none between survivors
+        assert all(topo.owner(s) == new_id for s in moved)
+
+    def test_remove_node_redistributes_only_its_slots(self):
+        topo = ClusterTopology(4)
+        victim_slots = set(topo.slots_of(2))
+        before = topo.assignment()
+        orphans = topo.remove_node(2)
+        assert set(orphans) == victim_slots
+        for slot, (a, b) in enumerate(zip(before, topo.assignment())):
+            if slot in victim_slots:
+                assert b != 2
+            else:
+                assert a == b  # survivors' slots untouched
+
+    def test_remove_unknown_or_last_node_fails(self):
+        topo = ClusterTopology(2)
+        with pytest.raises(ClusterError):
+            topo.remove_node(9)
+        topo.remove_node(1)
+        with pytest.raises(ClusterError):
+            topo.remove_node(0)
+
+    def test_remove_respects_replica_floor(self):
+        topo = ClusterTopology(2, replicas=1)
+        with pytest.raises(ClusterError):
+            topo.remove_node(1)
+
+
+class TestMoveSlot:
+    def test_move_slot_commits_ownership(self):
+        topo = ClusterTopology(2)
+        slot = topo.slots_of(0)[0]
+        prev = topo.move_slot(slot, 1)
+        assert prev == 0
+        assert topo.owner(slot) == 1
+
+    def test_move_slot_validation(self):
+        topo = ClusterTopology(2)
+        with pytest.raises(ClusterError):
+            topo.move_slot(-1, 0)
+        with pytest.raises(ClusterError):
+            topo.move_slot(0, 7)

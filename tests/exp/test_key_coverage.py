@@ -43,6 +43,14 @@ ALTERNATES = {
     "svc_backoff": 1.5,
     "svc_hedge": 4.0,
     "svc_fallback": True,
+    "nodes": 3,
+    "replicas": 1,
+    "route_cache": False,
+    "client_batch": 4,
+    "cluster_clients": 16,
+    "replica_reads": True,
+    "migrate_rate": 0.01,
+    "net_rtt_cycles": 250.0,
     "seed": 99,
     "machine": dataclasses.replace(SCALED_MACHINE, line_bytes=128),
 }

@@ -27,6 +27,11 @@ EXPECTED_METRIC_KEYS = {
     "oracle_checks", "oracle_violations", "ipb_overflows",
     "stlt_rows_scrubbed", "chaos_events",
     "svc_timeouts", "svc_hedges", "svc_fallbacks",
+    # cluster telemetry (PR 5) — None for single-node records
+    "nodes", "cluster_throughput", "cluster_p99", "cluster_p999",
+    "cluster_fairness", "route_hits", "route_stale_hits",
+    "route_misses", "moved_redirects", "ask_redirects",
+    "migrations_committed", "route_violations",
 }
 
 

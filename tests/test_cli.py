@@ -13,6 +13,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag_prints_version_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
         assert args.program == "unordered_map"
@@ -200,9 +208,55 @@ class TestSweepCommand:
         assert rc == 0
         lines = [json.loads(line)
                  for line in capsys.readouterr().out.splitlines() if line]
-        assert len(lines) == 2
-        assert {line["status"] for line in lines} == {"completed"}
-        assert all("result" in line for line in lines)
+        # one record per point plus one trailing summary line (PR 5)
+        assert len(lines) == 3
+        records, summary = lines[:-1], lines[-1]
+        assert {line["status"] for line in records} == {"completed"}
+        assert all("result" in line for line in records)
+        assert set(summary) == {"summary"}
+
+    def test_sweep_json_summary_reports_store_traffic(self, capsys,
+                                                      tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        spec = self._spec_file(tmp_path)
+        rc = main(["sweep", "--spec", spec, "--jobs", "1",
+                   "--store", store, "--quiet", "--json"])
+        assert rc == 0
+        summary = json.loads(
+            capsys.readouterr().out.splitlines()[-1])["summary"]
+        assert summary["store_hits"] == 0
+        assert summary["store_misses"] == 2
+        assert summary["wall_seconds"] > 0.0
+        assert summary["ok"] is True
+        # a second invocation is served entirely from the store
+        rc = main(["sweep", "--spec", spec, "--jobs", "1",
+                   "--store", store, "--quiet", "--json"])
+        assert rc == 0
+        summary = json.loads(
+            capsys.readouterr().out.splitlines()[-1])["summary"]
+        assert summary["store_hits"] == 2
+        assert summary["store_misses"] == 0
+
+    def test_sweep_text_summary_has_store_and_wall_line(self, capsys,
+                                                        tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        rc = main(["sweep", "--spec", self._spec_file(tmp_path),
+                   "--jobs", "1", "--store", store, "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "store: 0 hit(s), 2 miss(es)" in out
+        assert "wall" in out
+
+    def test_sweep_list_names_every_builtin(self, capsys):
+        from repro.exp.spec import sweep_descriptions
+
+        rc = main(["sweep", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name, description in sweep_descriptions().items():
+            assert name in out
+            assert description in out
+        assert "scale" in out
 
     def test_open_loop_spec_prints_latency_table(self, capsys, tmp_path):
         spec = {
@@ -255,6 +309,7 @@ class TestExitCodes:
         assert exit_code_for(errors.PageFault(0xBAD)) == 8
         assert exit_code_for(errors.AllocationError("x")) == 9
         assert exit_code_for(errors.ReproError("x")) == 10
+        assert exit_code_for(errors.ClusterError("x")) == 11
         # distinctness: no two classes share a code
         assert len(set(EXIT_CODES.values())) == len(EXIT_CODES)
 
@@ -367,3 +422,74 @@ class TestServeMitigationFlags:
         service = record["result"]["service"]
         assert service["mitigation"]["retries"] == 1
         assert service["mitigation"]["timeout_cycles"] > 0
+
+
+CLUSTER_ARGS = ["--keys", "1500", "--ops", "300", "--warmup-ops", "300"]
+
+
+class TestClusterCommand:
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.nodes == 3
+        assert args.replicas == 0
+        assert args.no_route_cache is False
+        assert args.batch == 1
+        assert args.clients == 8
+        assert args.migrate_rate == 0.0
+        assert args.net_rtt == 0.0
+        assert args.arrival == "poisson"
+
+    def test_single_quiet_node_is_a_usage_error(self, capsys):
+        rc = main(["cluster", "--nodes", "1"] + CLUSTER_ARGS)
+        assert rc == 2
+        assert "nothing to shard" in capsys.readouterr().err
+
+    def test_cluster_prints_fleet_telemetry(self, capsys):
+        rc = main(["cluster", "--nodes", "3", "--cores", "2",
+                   "--frontend", "stlt"] + CLUSTER_ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        for needle in ("fleet", "achieved", "latency p99", "route cache",
+                       "MOVED", "oracle", "node 0:", "node 2:"):
+            assert needle in out, f"cluster output missing {needle!r}"
+        assert "oracle        : OK" in out
+        assert "VIOLATIONS" not in out
+
+    def test_cluster_json_record_carries_cluster_payload(self, capsys):
+        rc = main(["cluster", "--json", "--nodes", "2", "--cores", "2",
+                   "--net-rtt", "200", "--migrate-rate", "0.01",
+                   "--replicas", "1"] + CLUSTER_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        config = RunConfig.from_dict(record["config"])
+        assert record["key"] == config_hash(config)
+        assert config.nodes == 2
+        assert config.replicas == 1
+        assert config.net_rtt_cycles == 200.0
+        cluster = record["result"]["cluster"]
+        assert cluster["nodes"] == 2
+        assert cluster["oracle_violations"] == 0
+        assert cluster["achieved_throughput"] > 0
+        assert set(cluster["latency"]) == {"p50", "p95", "p99", "p999"}
+        assert len(cluster["per_node"]) == 2
+
+    def test_one_node_rtt_anchor_runs_through_the_overlay(self, capsys):
+        rc = main(["cluster", "--json", "--nodes", "1",
+                   "--net-rtt", "300"] + CLUSTER_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        cluster = record["result"]["cluster"]
+        assert cluster["nodes"] == 1
+        assert cluster["network"]["rtt_cycles"] == 300.0
+        assert "net300" in record["label"]
+
+    def test_no_route_cache_bounces_through_moved(self, capsys):
+        rc = main(["cluster", "--json", "--nodes", "4",
+                   "--no-route-cache"] + CLUSTER_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        cluster = record["result"]["cluster"]
+        assert cluster["route_cache"] is False
+        assert cluster["route_hits"] == 0
+        assert cluster["moved_redirects"] > 0
+        assert cluster["oracle_violations"] == 0
