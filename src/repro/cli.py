@@ -105,6 +105,7 @@ from .sim.breakdown import run_breakdown
 from .sim.config import (
     DISPATCH_POLICIES,
     DISTRIBUTIONS,
+    EXEC_MODES,
     FRONTENDS,
     PROGRAMS,
     RunConfig,
@@ -168,6 +169,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="per-core fault, e.g. "
                              "'slowdown:core=1,factor=4' or "
                              "'stall:core=0,cycles=300' (repeatable)")
+    parser.add_argument("--exec-mode", choices=EXEC_MODES,
+                        default="reference",
+                        help="'reference' runs the original loop; "
+                             "'batched' the bit-identical fused fast "
+                             "path; 'untimed' counts hierarchy events "
+                             "without timing (oracle-only runs)")
     parser.add_argument("--seed", type=int, default=1)
 
 
@@ -208,6 +215,7 @@ def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
         replica_reads=getattr(args, "replica_reads", False),
         migrate_rate=getattr(args, "migrate_rate", 0.0),
         net_rtt_cycles=getattr(args, "net_rtt", 0.0),
+        exec_mode=getattr(args, "exec_mode", "reference"),
         seed=args.seed,
     )
 

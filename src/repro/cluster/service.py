@@ -457,7 +457,11 @@ def run_cluster(config):
         if mc.injector is not None:
             result.chaos = build_chaos_report(engine, mc.injector)
         per_node_results.append(result)
-        capacities.append(result.throughput)
+        # untimed engines report zero cycles, hence zero throughput; the
+        # overlay only needs *relative* node capacities to route, so an
+        # event-count run gives every node unit capacity
+        capacities.append(1.0 if config.exec_mode == "untimed"
+                          else result.throughput)
         captures.append(outcome.op_cycles)
 
     cluster = simulate_cluster(config, capacities, captures)

@@ -19,6 +19,12 @@ import random
 from typing import List, Optional, Set, Tuple
 
 from ..errors import STLTError
+from ..mem.kernels import (
+    matching_indices,
+    occupancy_count,
+    rows_in_pages,
+    state_digest,
+)
 from ..params import PAGE_SHIFT
 from .counters import ProbabilisticCounterPolicy
 from .row import ROW_BYTES, SUBINT_BITS, SUBINT_MASK, STLTRow
@@ -169,48 +175,53 @@ class STLT:
     # -- OS-side maintenance ----------------------------------------------
 
     def clear(self) -> None:
-        """Drop all content (STLTresize clears the table; Section III-F)."""
+        """Drop all content (STLTresize clears the table; Section III-F).
+
+        Clears in place: the batched execution mode holds kernel views
+        (direct references) onto the column lists, so the lists must
+        never be rebound once the table exists.
+        """
         n = self.num_rows
-        self._counters = [0] * n
-        self._subints = [0] * n
-        self._vas = [0] * n
-        self._ptes = [0] * n
+        self._counters[:] = [0] * n
+        self._subints[:] = [0] * n
+        self._vas[:] = [0] * n
+        self._ptes[:] = [0] * n
+
+    def _scrub_rows(self, rows) -> int:
+        counters, subints, vas, ptes = (
+            self._counters, self._subints, self._vas, self._ptes)
+        for i in rows:
+            counters[i] = 0
+            subints[i] = 0
+            vas[i] = 0
+            ptes[i] = 0
+        return len(rows)
 
     def scrub_pages(self, vpns: Set[int]) -> int:
         """Invalidate every row whose VA lies in one of ``vpns``.
 
         This is the slow path the kernel runs when the IPB overflows
-        (Section III-D1).  Returns the number of rows scrubbed.
+        (Section III-D1).  Returns the number of rows scrubbed.  The
+        full-table scan runs through the bulk kernel
+        (:func:`repro.mem.kernels.rows_in_pages`), vectorised when
+        numpy is available.
         """
-        scrubbed = 0
-        vas = self._vas
-        for i in range(self.num_rows):
-            va = vas[i]
-            if va and (va >> PAGE_SHIFT) in vpns:
-                self._counters[i] = 0
-                self._subints[i] = 0
-                vas[i] = 0
-                self._ptes[i] = 0
-                scrubbed += 1
-        return scrubbed
+        return self._scrub_rows(rows_in_pages(self._vas, vpns, PAGE_SHIFT))
 
     def invalidate_va(self, va: int) -> int:
         """Invalidate all rows holding exactly ``va`` (record movement)."""
-        scrubbed = 0
-        for i in range(self.num_rows):
-            if self._vas[i] == va:
-                self._counters[i] = 0
-                self._subints[i] = 0
-                self._vas[i] = 0
-                self._ptes[i] = 0
-                scrubbed += 1
-        return scrubbed
+        return self._scrub_rows(matching_indices(self._vas, va))
 
     # -- introspection -----------------------------------------------------
 
     @property
     def occupancy(self) -> int:
-        return sum(1 for va in self._vas if va)
+        return occupancy_count(self._vas)
+
+    def state_digest(self) -> str:
+        """Stable digest of the full table content (mode drift guard)."""
+        return state_digest(self.num_rows, self.ways, self._counters,
+                            self._subints, self._vas, self._ptes)
 
     @property
     def hit_rate(self) -> float:

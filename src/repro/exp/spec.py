@@ -420,6 +420,26 @@ def _scale_points() -> List[SweepPoint]:
     return spec.expand()
 
 
+def _fastpath_points() -> List[SweepPoint]:
+    """Batched-mode companion of ``smoke``: the same tiny configs run
+    through the fused execution path, single- and two-core, so CI
+    exercises the ExecutionMode seam end to end (sweep plumbing,
+    aggregate serialisation, the shared-STLT interleave) in seconds.
+    The differential suite separately pins batched == reference;
+    this sweep proves the mode survives the full campaign machinery."""
+    spec = SweepSpec(
+        name="fastpath",
+        base=dict(num_keys=200, measure_ops=60, warmup_ops=120,
+                  exec_mode="batched"),
+        grid={
+            "program": ["unordered_map"],
+            "frontend": ["stlt"],
+            "num_cores": [1, 2],
+        },
+    )
+    return spec.expand()
+
+
 #: named campaigns runnable as ``repro sweep <name>``; each entry is
 #: (point factory, one-line description for ``repro sweep --list``)
 _BUILTIN: Dict[str, Tuple[Callable[[], List[SweepPoint]], str]] = {
@@ -444,6 +464,9 @@ _BUILTIN: Dict[str, Tuple[Callable[[], List[SweepPoint]], str]] = {
     "scale": (
         _scale_points,
         "cluster node scaling x route cache on/off over a real RTT"),
+    "fastpath": (
+        _fastpath_points,
+        "batched-mode smoke: the fused execution path, 1 and 2 cores"),
 }
 
 

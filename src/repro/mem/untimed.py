@@ -1,0 +1,145 @@
+"""The event-count (untimed) memory system behind ``exec_mode``.
+
+``UntimedMemorySystem`` is the memory half of the ``untimed`` execution
+mode (DESIGN.md section 11): every access performs the *identical
+functional* walk of the hierarchy — the same TLB/cache probes, the same
+LRU updates, fills and evictions, the same page walks and prefetcher
+decisions — but charges zero cycles.  Because presence/replacement
+state evolves purely from the access-address sequence, every *event
+count* (L1/L2/L3 hits and misses, D-TLB/STLB/STB hits and misses, page
+walks, DRAM line fetches, prefetch issue/useful counts) is pinned equal
+to the reference mode; every *cycle-denominated* statistic
+(``total_cycles``, ``walk_cycles``, DRAM busy/queue cycles, the ``attr``
+breakdown) stays zero, and the DRAM channel clock is never touched.
+
+This is the mode for oracle-only chaos and cluster runs: the
+stale-translation oracle, the IPB/scrub protocol, and the cluster
+routing/migration machinery are all index-driven, so their verdicts are
+bit-identical to a timed run at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import PAGE_BYTES, PAGE_SHIFT
+from .hierarchy import _LINE_SHIFT, MemorySystem
+from .types import AccessKind, AccessResult
+
+
+class UntimedMemorySystem(MemorySystem):
+    """Functionally identical hierarchy walk, zero cycles charged."""
+
+    # -- clock: nothing ever advances ---------------------------------
+
+    def tick(self, cycles: int, attr: Optional[str] = None) -> None:
+        pass
+
+    def charge(self, cycles: int, attr: Optional[str] = None) -> None:
+        pass
+
+    # -- cache path ----------------------------------------------------
+
+    def _line_access(self, line_addr: int, demand: bool = True,
+                     at: int = -1) -> int:
+        """Reference content walk with the DRAM timing model elided.
+
+        A miss that reaches memory still counts a DRAM line fetch and
+        fills L3/L2/L1 — only the channel clock and queue accounting
+        are skipped (they are timing, not content).
+        """
+        l1 = self.l1
+        s = l1._sets[line_addr & l1._set_mask]
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            l1.hits += 1
+            self.stats.l1_hits += 1
+            return 0
+        l1.misses += 1
+        self.stats.l1_misses += 1
+        if self.l2.lookup(line_addr):
+            self.stats.l2_hits += 1
+            self.l1.insert(line_addr)
+            return 0
+        self.stats.l2_misses += 1
+        llc_hit = self.l3.lookup(line_addr)
+        if llc_hit:
+            self.stats.l3_hits += 1
+            if demand and line_addr in self._prefetched_lines:
+                self.stats.prefetches_useful += 1
+                self._prefetched_lines.discard(line_addr)
+        else:
+            self.stats.l3_misses += 1
+            self.stats.dram_accesses += 1
+            self._insert_l3(line_addr)
+        self.l2.insert(line_addr)
+        self.l1.insert(line_addr)
+        if demand:
+            self._run_data_prefetchers(line_addr, was_miss=not llc_hit, at=0)
+        return 0
+
+    def _run_data_prefetchers(self, line_addr: int, was_miss: bool,
+                              at: int) -> None:
+        candidates = []
+        if self.stream_prefetcher is not None:
+            candidates += self.stream_prefetcher.observe(line_addr, was_miss)
+        if self.vldp_prefetcher is not None:
+            candidates += self.vldp_prefetcher.observe(line_addr, was_miss)
+        for pf_line in candidates:
+            if self.l3.contains(pf_line):
+                continue
+            self.stats.prefetches_issued += 1
+            self._insert_l3(pf_line)
+            self._prefetched_lines.add(pf_line)
+
+    # -- public access API ---------------------------------------------
+
+    def access(
+        self,
+        vaddr: int,
+        size: int = 8,
+        write: bool = False,
+        kind: AccessKind = AccessKind.OTHER,
+    ) -> AccessResult:
+        stats = self.stats
+        stats.accesses += 1
+        if write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        first_line = vaddr >> _LINE_SHIFT
+        last_line = (vaddr + max(size, 1) - 1) >> _LINE_SHIFT
+        tlb_hit = True
+        stb_hit = False
+        walked = False
+        last_vpn = -1
+        pfn = 0
+        for line in range(first_line, last_line + 1):
+            line_va = line << _LINE_SHIFT
+            vpn = line_va >> PAGE_SHIFT
+            if vpn != last_vpn:
+                pfn, _cycles, t_hit, t_walked = self._translate(vpn)
+                tlb_hit = tlb_hit and t_hit
+                walked = walked or t_walked
+                if not t_hit and not t_walked:
+                    stb_hit = True
+                last_vpn = vpn
+            paddr_line = ((pfn << PAGE_SHIFT)
+                          | (line_va & (PAGE_BYTES - 1))) >> _LINE_SHIFT
+            self._line_access(paddr_line)
+        return AccessResult(
+            cycles=0,
+            tlb_hit=tlb_hit,
+            stb_hit=stb_hit,
+            walked=walked,
+            lines_touched=last_line - first_line + 1,
+        )
+
+    def physical_access(self, paddr: int, size: int = 8) -> int:
+        self.stats.accesses += 1
+        self.stats.reads += 1
+        first_line = paddr >> _LINE_SHIFT
+        last_line = (paddr + max(size, 1) - 1) >> _LINE_SHIFT
+        for line in range(first_line, last_line + 1):
+            self._line_access(line)
+        return 0

@@ -27,6 +27,13 @@ DISTRIBUTIONS = ("zipf", "latest", "uniform")
 ARRIVAL_PROCESSES = ("closed", "poisson", "mmpp")
 #: open-loop request-to-core dispatch policies (repro.svc.dispatch)
 DISPATCH_POLICIES = ("round_robin", "key_hash", "jsq")
+#: execution modes of the engine loop (DESIGN.md section 11):
+#: "reference" — the per-op object-traversal loop, unchanged semantics;
+#: "batched"   — the fused array-backed fast path, bit-identical to
+#:               reference (pinned by the golden + differential tests);
+#: "untimed"   — the event-count mode: identical hit/miss/oracle counts,
+#:               zero cycles (oracle-only chaos/cluster runs)
+EXEC_MODES = ("reference", "batched", "untimed")
 
 #: paper regime: the 512 MB STLT holds 32 M rows for 10 M keys — 3.2 rows
 #: per key (1.25 keys per 4-way set), which is where Table V's conflict
@@ -140,6 +147,12 @@ class RunConfig:
     #: 0 = the quiet network (all transfers free — the bit-identity
     #: anchor for one-node cluster runs)
     net_rtt_cycles: float = 0.0
+    #: how the engine loop executes (see EXEC_MODES): the timed modes
+    #: ("reference", "batched") are bit-identical by contract; "untimed"
+    #: pins event counts only.  Content-hashed like every other field,
+    #: but deliberately absent from ``label`` — the label names the
+    #: experiment, and timed modes produce the same numbers
+    exec_mode: str = "reference"
     seed: int = 1
     #: the ratio-preserving scaled machine (params.scaled_machine); pass
     #: params.DEFAULT_MACHINE for the literal Table III configuration
@@ -204,6 +217,17 @@ class RunConfig:
             raise ConfigError("migration rate must be within [0, 1]")
         if self.net_rtt_cycles < 0:
             raise ConfigError("network RTT cannot be negative")
+        if self.exec_mode not in EXEC_MODES:
+            raise ConfigError(
+                f"unknown exec mode {self.exec_mode!r}; "
+                f"choose one of {EXEC_MODES!r}")
+        if self.exec_mode == "untimed" \
+                and self.arrival_process != "closed":
+            # the open-loop service layer charges requests their measured
+            # per-op service cycles; an untimed run has none to offer
+            raise ConfigError(
+                "untimed execution produces no service times for the "
+                "open-loop layer; use exec_mode 'reference' or 'batched'")
 
     # -- derived defaults -------------------------------------------------
 
@@ -350,6 +374,11 @@ class RunConfig:
                 base = f"{base}~mig{self.migrate_rate:g}"
             if self.net_rtt_cycles > 0.0:
                 base = f"{base}+net{self.net_rtt_cycles:g}"
+        if self.exec_mode == "untimed":
+            # timed modes share the label (their numbers are identical);
+            # untimed results carry zero cycles and must not be mistaken
+            # for them in reports
+            base = f"{base}!untimed"
         return base
 
 

@@ -1,0 +1,1183 @@
+"""The batched execution fast path (``exec_mode="batched"``).
+
+``BatchedOpExecutor`` owns the interleave loop for batched runs and
+replaces :meth:`Engine.do_get` with a *fused* per-operation kernel.  The
+contract is strict bit-identity with the reference mode: every counter,
+every cycle, every RNG draw, every LRU transition and every DRAM queue
+timestamp must come out the same (the golden and differential suites
+pin this).  True vectorisation is impossible under that contract — LRU
+state, the serialised DRAM channel clock, and the STLT's probabilistic
+counters are all order-dependent — so the speedup comes from removing
+the *interpreter* overhead of the reference path instead:
+
+* the call tower ``do_get -> frontend.get -> stu.load_va -> stlt.scan ->
+  mem.physical_access -> mem.access -> records.access_*`` collapses
+  into one flat function over a per-core :class:`_CoreView` of hoisted
+  references (flat STLT column arrays, L1/D-TLB set lists, counters);
+* the overwhelmingly common *all-hit* GET (single STLT match, IPB
+  clear, D-TLB + L1 hits throughout, oracle clean) runs a two-phase
+  kernel: a read-only probe phase proves the op takes the all-hit
+  shape, then a commit phase replays the reference mutation sequence
+  (LRU moves, the counter RNG draw, the STB insert) and *defers* the
+  pure event counters into per-core accumulators that are flushed at
+  the measurement boundaries — turning ~40 counter writes per op into
+  a handful of integer adds;
+* any deviation falls back first to the general fused kernel (hit
+  cases inlined with immediate counters, miss cases delegated to the
+  reference ``MemorySystem`` methods with the exact ``at=now + cycles``
+  timestamps, so the DRAM queue accounting in :mod:`repro.mem.dram`
+  sees the identical request order), and from there to the reference
+  engine methods;
+* the stale-translation oracle's page-mapped checks are memoised in a
+  set evicted by an :attr:`AddressSpace.invalidation_hooks` observer
+  (only *positive* translations are cached: ``remap_page`` fires no
+  hook but can only add mappings back);
+* ``key_bytes``, the fast-hash integer, and the STLT set geometry are
+  memoised per key id, and the fixed 24-byte hash cost is precomputed.
+
+Deferral is safe because everything deferred is a pure event count read
+only at measurement boundaries: the loop flushes before ``mark()``,
+before every chaos ``after_op`` (the injector may read any counter),
+and at the end of the run; ``mem.now`` and the DRAM clock are always
+exact because the commit phase advances them per op.  Per-op cycle
+deltas (fault charging, open-loop capture) read
+``stats.total_cycles + acc_cycles``.
+
+Fusion covers GETs of the ``stlt``/``stlt_va`` front-ends — the paper's
+design point and the hot loop of every paper-scale sweep.  Everything
+else (SETs, the other front-ends, the Redis command wrapper, a
+monitor-disabled STU) executes the reference code *inside* the batched
+loop, which keeps those paths trivially identical.  Chaos runs work
+unmodified: OS churn mutates the shared structures in place (the view
+aliases them), an ``STLTresize`` that swaps the table object is caught
+by the per-op view resync, and the per-op flush around ``after_op``
+keeps every counter exact when the injector looks at them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.counters import ProbabilisticCounterPolicy
+from ..core.row import COUNTER_MAX, ROW_BYTES, SUBINT_BITS, SUBINT_MASK
+from ..errors import KVSError, ReproError
+from ..kvs.base import KEY_COMPARE_CYCLES
+from ..kvs.records import RECORD_HEADER_BYTES
+from ..params import PAGE_BYTES, PAGE_SHIFT
+from ..workloads.keys import key_bytes
+from ..workloads.ycsb import Operation
+
+_LINE_SHIFT = 6
+_PAGE_OFF_MASK = PAGE_BYTES - 1
+
+
+class _CoreView:
+    """One core's hoisted references for the fused GET kernel."""
+
+    __slots__ = (
+        "mem", "stats", "attr",
+        "l1", "l1_sets", "l1_mask", "l1_latency",
+        "dtlb", "dtlb_sets", "dtlb_nsets", "dtlb_latency",
+        "frontend", "stu", "stb", "stb_buf", "stb_cap",
+        "ipb", "ipb_buf", "va_only",
+        "index", "by_va", "records", "oracle", "space",
+        "load_va_cycles", "ipb_probe_cycles", "counter_store_cycles",
+        "stlt", "stlt_vas", "stlt_subints", "stlt_counters", "stlt_ptes",
+        "stlt_set_mask", "stlt_ways", "stlt_base_pa",
+        "counter_policy", "randbelow", "getrandbits", "crs",
+        "fast_const", "fast_stlt_attr", "hash_cost", "ro",
+        "n_fast", "acc_stlt_c", "acc_transl",
+        "acc_rec_c", "acc_val_c", "acc_dtlb", "acc_l1", "acc_stb",
+    )
+
+    def __init__(self, engine, core_id: int, hash_cost: int) -> None:
+        mem = engine.ctx.core_mem(core_id)
+        self.mem = mem
+        self.stats = mem.stats
+        self.attr = mem.attr
+        l1_view = mem.l1.kernel_view()
+        self.l1 = mem.l1
+        self.l1_sets = l1_view.sets
+        self.l1_mask = l1_view.set_mask
+        self.l1_latency = l1_view.latency
+        dtlb_view = mem.tlbs.l1.kernel_view()
+        self.dtlb = mem.tlbs.l1
+        self.dtlb_sets = dtlb_view.sets
+        self.dtlb_nsets = dtlb_view.num_sets
+        self.dtlb_latency = dtlb_view.latency
+        frontend = engine.frontends[core_id]
+        self.frontend = frontend
+        stu = frontend.stu
+        self.stu = stu
+        self.stb = stu.stb
+        self.stb_buf = stu.stb._buf
+        self.stb_cap = stu.stb.entries
+        self.ipb = stu.ipb
+        self.ipb_buf = stu.ipb._buf
+        self.va_only = stu.va_only
+        self.index = frontend.index
+        self.records = engine.ctx.records
+        self.by_va = engine.ctx.records.by_va
+        self.oracle = engine.oracle
+        self.space = engine.ctx.space
+        instr = mem.machine.instr
+        self.load_va_cycles = instr.load_va_cycles
+        self.ipb_probe_cycles = instr.ipb_probe_cycles
+        self.counter_store_cycles = instr.counter_store_cycles
+        #: per-op constants of the fused kernel: the fixed ticks (the
+        #: memory-access parts are dynamic), and the attr["stlt"] share
+        #: of them
+        self.hash_cost = hash_cost
+        self.fast_stlt_attr = (self.load_va_cycles + self.ipb_probe_cycles
+                               + self.counter_store_cycles)
+        self.fast_const = (hash_cost + self.fast_stlt_attr
+                           + KEY_COMPARE_CYCLES)
+        self.crs = stu.crs
+        #: deferred fused-op event accumulators (see module docstring)
+        self.n_fast = 0
+        self.acc_stlt_c = 0
+        self.acc_transl = 0
+        self.acc_rec_c = 0
+        self.acc_val_c = 0
+        self.acc_dtlb = 0
+        self.acc_l1 = 0
+        self.acc_stb = 0
+        self.stlt = None
+        self.sync_stlt(stu.stlt)
+
+    def sync_stlt(self, stlt) -> None:
+        """(Re)bind the flat STLT column views; called at construction
+        and whenever a chaos ``STLTresize`` swapped the table object."""
+        self.stlt = stlt
+        self.stlt_vas = stlt._vas
+        self.stlt_subints = stlt._subints
+        self.stlt_counters = stlt._counters
+        self.stlt_ptes = stlt._ptes
+        self.stlt_set_mask = stlt._set_mask
+        self.stlt_ways = stlt.ways
+        self.stlt_base_pa = stlt.base_pa
+        pol = stlt.counter_policy
+        self.counter_policy = pol
+        # the inlined probabilistic increment reuses the policy's own
+        # randbelow so the RNG stream is draw-for-draw identical; any
+        # other policy type (or a Random without the CPython private
+        # method) falls back to pol.update()
+        self.randbelow = (
+            getattr(pol._rng, "_randbelow", None)
+            if type(pol) is ProbabilisticCounterPolicy else None)
+        # when the RNG's _randbelow is CPython's getrandbits-based
+        # rejection sampler, the hot runner inlines that sampler over
+        # the C-level getrandbits method itself — the Python frame of
+        # _randbelow_with_getrandbits is the only thing removed, the
+        # bit stream consumed is draw-for-draw identical
+        self.getrandbits = None
+        if self.randbelow is not None:
+            rng = pol._rng
+            sampler = getattr(
+                type(rng), "_randbelow_with_getrandbits", None)
+            if sampler is not None and type(rng)._randbelow is sampler:
+                self.getrandbits = rng.getrandbits
+        #: everything the kernel reads per op, packed for one unpack
+        self.ro = (
+            self.l1_sets, self.l1_mask, self.l1_latency,
+            self.dtlb_sets, self.dtlb_nsets, self.dtlb_latency,
+            self.stlt_vas, self.stlt_subints, self.stlt_counters,
+            self.stlt_ptes, self.stlt_ways, self.stlt_base_pa,
+            self.ipb_buf, self.by_va, self.stb_buf, self.stb_cap,
+            self.va_only, self.randbelow, pol,
+            self.hash_cost + self.load_va_cycles,          # pre ticks
+            self.ipb_probe_cycles + self.counter_store_cycles,  # mid
+            self.mem, self.space,
+        )
+        self.verify()
+
+    def verify(self) -> None:
+        """Drift guard: the view must alias the live structures.
+
+        A view over copies (or over a structure some refactor started
+        rebinding) would silently diverge from the reference mode; this
+        is checked at construction and on every resync.
+        """
+        stlt = self.stlt
+        ok = (
+            self.stlt_vas is stlt._vas
+            and self.stlt_subints is stlt._subints
+            and self.stlt_counters is stlt._counters
+            and self.stlt_ptes is stlt._ptes
+            and len(stlt._vas) == stlt.num_rows
+            and self.l1_sets is self.mem.l1._sets
+            and self.dtlb_sets is self.mem.tlbs.l1._sets
+            and self.ipb_buf is self.stu.ipb._buf
+            and self.stb_buf is self.stu.stb._buf
+            and self.by_va is self.records.by_va
+        )
+        if not ok:
+            raise ReproError(
+                "batched-mode kernel view does not alias the live "
+                "simulation structures; the fast path would drift")
+
+
+class BatchedOpExecutor:
+    """Fused per-op executors and the batched interleave loop."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        config = engine.config
+        #: full fusion only for the hardware-STLT front-ends on the
+        #: kernel programs; everything else runs reference ops inside
+        #: the batched loop (identical by construction)
+        self.fused = (
+            config.frontend in ("stlt", "stlt_va")
+            and engine.redis is None
+            and all(f.integer_transform is None for f in engine.frontends)
+        )
+        #: key id -> (key bytes, fast-hash integer, STLT row base, subint)
+        self._hot: Dict[int, Tuple[bytes, int, int, int]] = {}
+        #: key id -> (record, row_va, value_size, rspan_end, value_va,
+        #: vspan_end, value vpn): the shape phase's record-derived
+        #: geometry, revalidated on every use (record identity at the
+        #: scanned VA + unchanged value size; ``key``, ``header_bytes``
+        #: and ``external_value_va`` are immutable after construction,
+        #: so identity implies the memoised spans)
+        self._geo: Dict[int, tuple] = {}
+        self._views: List[_CoreView] = []
+        #: record pages with a proven-live translation; the oracle's
+        #: fast-hit check memo.  Only positive lookups are cached, and
+        #: the invalidation hook evicts on unmap/migrate, so membership
+        #: always implies the page is mapped right now.
+        self._mapped = set()
+        if self.fused:
+            spec = engine.frontends[0].fast_hash
+            self._hash = spec
+            self._hash_cost = spec.cost_cycles(24)  # key_bytes() is 24 B
+            self._views = [_CoreView(engine, core_id, self._hash_cost)
+                           for core_id in range(config.num_cores)]
+            engine.ctx.space.invalidation_hooks.append(self._mapped.discard)
+
+    # ------------------------------------------------------------------
+    # the batched interleave loop (the reference loop with the fused
+    # executors, no per-op core binding on the fused path, and the
+    # deferred-counter flush points)
+    # ------------------------------------------------------------------
+
+    def run_interleave(self, streams, states, warmup: int, capture: bool,
+                       injector, faulted: bool, value_size: int) -> None:
+        """Drive the interleave over pre-generated per-core op arrays.
+
+        Bit-identical to the reference loop in
+        :meth:`MultiCoreEngine.run`: same op order, same mark/capture
+        semantics, same fault charging, same chaos hook placement.
+        """
+        engine = self.engine
+        n = len(streams)
+        total = len(streams[0]) if streams else 0
+        get_op = Operation.GET
+        if not self.fused:
+            # nothing to fuse: the reference loop shape, reference ops
+            do_get = engine.do_get
+            do_set = engine.do_set
+            for i in range(total):
+                measured = i >= warmup
+                for core_id in range(n):
+                    engine.bind_core(core_id)
+                    state = states[core_id]
+                    if i == warmup:
+                        state.mark()
+                    if faulted or (capture and measured):
+                        before = state.mem.stats.total_cycles
+                    op, key_id = streams[core_id][i]
+                    if op is get_op:
+                        do_get(core_id, key_id)
+                        state.gets += 1
+                    else:
+                        do_set(core_id, key_id, value_size)
+                        state.sets += 1
+                    if faulted:
+                        extra = injector.fault_cycles(
+                            core_id, i,
+                            state.mem.stats.total_cycles - before)
+                        if extra:
+                            state.mem.charge(extra, attr="fault")
+                    if capture and measured:
+                        state.op_cycles.append(
+                            state.mem.stats.total_cycles - before)
+                    if injector is not None:
+                        injector.after_op(core_id, i)
+            return
+
+        views = self._views
+        do_get = self.do_get
+        do_set = engine.do_set
+        flush = self._flush
+        if (n == 1 and injector is None and not capture
+                and 0 <= warmup < total
+                and views[0].stu.enabled
+                and views[0].crs.num_rows != 0):
+            # the hot shape (single core, no chaos, closed loop): with
+            # no injector nothing can disable the STU or swap the STLT
+            # object mid-run (the monitor and resizer are standalone
+            # tools, not wired into the engine), so the per-op
+            # eligibility checks, the view unpack, and the deferred
+            # accumulators all hoist out of the loop into one slice
+            # runner per measurement window
+            state = states[0]
+            v = views[0]
+            stream = streams[0]
+            try:
+                g, s = self._run_hot_ops(v, stream[:warmup], value_size)
+                state.gets += g
+                state.sets += s
+                flush(v)
+                state.mark()
+                g, s = self._run_hot_ops(v, stream[warmup:], value_size)
+                state.gets += g
+                state.sets += s
+            finally:
+                flush(v)
+            return
+        try:
+            for i in range(total):
+                measured = i >= warmup
+                for core_id in range(n):
+                    state = states[core_id]
+                    v = views[core_id]
+                    if i == warmup:
+                        flush(v)
+                        state.mark()
+                    need_delta = faulted or (capture and measured)
+                    if need_delta:
+                        before = v.stats.total_cycles + self._pending(v)
+                    op, key_id = streams[core_id][i]
+                    if op is get_op:
+                        do_get(core_id, key_id)
+                        state.gets += 1
+                    else:
+                        # SETs mutate the index: reference path, bound
+                        engine.bind_core(core_id)
+                        do_set(core_id, key_id, value_size)
+                        state.sets += 1
+                    if faulted:
+                        extra = injector.fault_cycles(
+                            core_id, i,
+                            v.stats.total_cycles + self._pending(v)
+                            - before)
+                        if extra:
+                            v.mem.charge(extra, attr="fault")
+                    if capture and measured:
+                        state.op_cycles.append(
+                            v.stats.total_cycles + self._pending(v)
+                            - before)
+                    if injector is not None:
+                        # the injector may read (and mutate) anything:
+                        # counters must be exact around the churn hook
+                        flush(v)
+                        engine.bind_core(core_id)
+                        injector.after_op(core_id, i)
+        finally:
+            for v in views:
+                flush(v)
+
+    def _run_hot_ops(self, v: _CoreView, ops, value_size: int):
+        """Run a slice of the single core's stream with every kernel
+        reference *and* every deferred accumulator held in function
+        locals.
+
+        This is the fused GET kernel of :meth:`do_get` verbatim, minus
+        the per-op preamble it no longer needs: with one core, no
+        injector, and no capture, nothing can resync the view or read a
+        counter mid-slice, so the eligibility checks run once in the
+        caller and the accumulators are written back exactly once (in
+        the ``finally``, so an op that raises — e.g. a lost key — still
+        leaves the counters exactly where the reference mode would).
+        Returns ``(gets, sets)`` executed.
+        """
+        engine = self.engine
+        bind = engine.bind_core
+        do_set = engine.do_set
+        general = self._general_get
+        hot_memo = self._hot
+        geo_memo = self._geo
+        mapped = self._mapped
+        hashf = self._hash
+        get_op = Operation.GET
+        (l1_sets, l1_mask, l1_lat, dtlb_sets, dtlb_nsets, dtlb_lat,
+         vas, subints, counters, ptes, ways, base_pa, ipb_buf, by_va,
+         stb_buf, stb_cap, va_only, randbelow, pol, pre_ticks,
+         mid_ticks, mem, space) = v.ro
+        set_mask = v.stlt_set_mask
+        way_range = range(ways)
+        grb = v.getrandbits
+        g = s = 0
+        nf = a_stlt = a_transl = a_rec = a_val = 0
+        a_dtlb = a_l1 = a_stb = 0
+        # the clock lives in a local for the slice: ``_line_access``
+        # with an explicit ``at=`` never reads ``mem.now``, so it only
+        # needs syncing before ``_translate`` (whose page walk issues
+        # ``at=-1`` line accesses) and before any reference-path call
+        now = mem.now
+        try:
+            for op, key_id in ops:
+                if op is not get_op:
+                    mem.now = now
+                    bind(0)
+                    do_set(0, key_id, value_size)
+                    now = mem.now
+                    s += 1
+                    continue
+                g += 1
+                try:
+                    key, integer, base, subint = hot_memo[key_id]
+                except KeyError:
+                    key = key_bytes(key_id)
+                    integer = hashf(key)
+                    base = ((integer >> SUBINT_BITS) & set_mask) * ways
+                    subint = integer & SUBINT_MASK
+                    hot_memo[key_id] = (key, integer, base, subint)
+
+                # ---- shape phase (see do_get; bails are read-only) ---
+                # (bails sync the clock around the general kernel: the
+                # shape phase itself never advances it)
+                # C-level scan first: when exactly one way holds the
+                # subint and its row is live, that way is the reference
+                # scan's answer; zero matches is a clean miss; anything
+                # else (several subint matches, possibly on dead rows)
+                # re-runs the exact reference loop
+                seg = subints[base:base + ways]
+                c = seg.count(subint)
+                if c == 1:
+                    way = seg.index(subint)
+                    if vas[base + way] == 0:
+                        way = -1
+                elif c == 0:
+                    way = -1
+                else:
+                    way = -1
+                    for w in way_range:
+                        j = base + w
+                        if vas[j] != 0 and subints[j] == subint:
+                            if way >= 0:
+                                way = -2
+                                break
+                            way = w
+                if way < 0:
+                    mem.now = now
+                    general(v, 0, key, integer, key_id)
+                    now = mem.now
+                    continue
+                j = base + way
+                row_va = vas[j]
+                vpn_r = row_va >> PAGE_SHIFT
+                if vpn_r in ipb_buf:
+                    mem.now = now
+                    general(v, 0, key, integer, key_id)
+                    now = mem.now
+                    continue
+                record = by_va.get(row_va)
+                geo = geo_memo.get(key_id)
+                if (geo is not None and record is geo[0]
+                        and row_va == geo[1]
+                        and record.value_size == geo[2]):
+                    # same record at the same VA with the same value
+                    # size: the memoised spans are still exact
+                    rspan_end = geo[3]
+                    value_va = geo[4]
+                    vspan_end = geo[5]
+                    vpn_v = geo[6]
+                else:
+                    if (record is None or record.va != row_va
+                            or record.key != key
+                            or record.external_value_va is not None):
+                        mem.now = now
+                        general(v, 0, key, integer, key_id)
+                        now = mem.now
+                        continue
+                    size = record.value_size
+                    if size == 0:
+                        mem.now = now
+                        general(v, 0, key, integer, key_id)
+                        now = mem.now
+                        continue
+                    rspan_end = row_va + record.header_bytes + 24 - 1
+                    value_va = rspan_end + 1
+                    vspan_end = value_va + size - 1
+                    vpn_v = value_va >> PAGE_SHIFT
+                    if (rspan_end >> PAGE_SHIFT != vpn_r
+                            or vspan_end >> PAGE_SHIFT != vpn_v):
+                        mem.now = now
+                        general(v, 0, key, integer, key_id)
+                        now = mem.now
+                        continue
+                    geo_memo[key_id] = (record, row_va, size, rspan_end,
+                                        value_va, vspan_end, vpn_v)
+                if vpn_r not in mapped:
+                    if space.translate(row_va) is None:
+                        mem.now = now
+                        general(v, 0, key, integer, key_id)
+                        now = mem.now
+                        continue
+                    mapped.add(vpn_r)
+
+                # ---- execute phase (see do_get; locals throughout) ---
+                now += pre_ticks
+                p0 = base_pa + base * ROW_BYTES
+                ln = p0 >> _LINE_SHIFT
+                line_end = (p0 + ways * ROW_BYTES - 1) >> _LINE_SHIFT
+                if ln == line_end:  # one line: skip the loop frame
+                    ls = l1_sets[ln & l1_mask]
+                    if ln in ls:
+                        ls.move_to_end(ln)
+                        a_l1 += 1
+                        phys = l1_lat
+                    else:
+                        phys = mem._line_access(ln, True, now)
+                else:
+                    phys = 0
+                    while ln <= line_end:
+                        ls = l1_sets[ln & l1_mask]
+                        if ln in ls:
+                            ls.move_to_end(ln)
+                            a_l1 += 1
+                            phys += l1_lat
+                        else:
+                            phys += mem._line_access(ln, True, now + phys)
+                        ln += 1
+                now += phys + mid_ticks
+                a_stlt += phys
+                cval = counters[j]
+                if grb is not None:
+                    # randrange(1 << cval) unrolled over the C-level
+                    # getrandbits: (cval+1)-bit rejection sampling,
+                    # the same bit stream as _randbelow_with_getrandbits
+                    lim = 1 << cval
+                    r = grb(cval + 1)
+                    while r >= lim:
+                        r = grb(cval + 1)
+                    if r == 0:
+                        pol.increments += 1
+                        if cval >= COUNTER_MAX:
+                            pol.overflows += 1
+                            counters[j] = COUNTER_MAX // 2
+                        else:
+                            counters[j] = cval + 1
+                elif randbelow is not None:
+                    if randbelow(1 << cval) == 0:
+                        pol.increments += 1
+                        if cval >= COUNTER_MAX:
+                            pol.overflows += 1
+                            counters[j] = COUNTER_MAX // 2
+                        else:
+                            counters[j] = cval + 1
+                else:
+                    counters[j] = pol.update(cval)
+                    pol.updates -= 1
+                if not va_only:
+                    pte = ptes[j]
+                    if pte:
+                        if vpn_r in stb_buf:
+                            stb_buf[vpn_r] = pte
+                        else:
+                            if len(stb_buf) >= stb_cap:
+                                stb_buf.popitem(last=False)
+                            stb_buf[vpn_r] = pte
+                        a_stb += 1
+                dset = dtlb_sets[vpn_r % dtlb_nsets]
+                pfn = dset.get(vpn_r)
+                if pfn is not None:
+                    dset.move_to_end(vpn_r)
+                    a_dtlb += 1
+                    t_rec = dtlb_lat
+                else:
+                    mem.now = now  # the page walk issues at="now"
+                    pfn, t_rec, _hit, _walked = mem._translate(vpn_r)
+                ln = ((pfn << PAGE_SHIFT)
+                      | (row_va & _PAGE_OFF_MASK)) >> _LINE_SHIFT
+                line_end = (ln + (rspan_end >> _LINE_SHIFT)
+                            - (row_va >> _LINE_SHIFT))
+                if ln == line_end:
+                    ls = l1_sets[ln & l1_mask]
+                    if ln in ls:
+                        ls.move_to_end(ln)
+                        a_l1 += 1
+                        rec_c = l1_lat
+                    else:
+                        rec_c = mem._line_access(ln, True, now + t_rec)
+                else:
+                    rec_c = 0
+                    while ln <= line_end:
+                        ls = l1_sets[ln & l1_mask]
+                        if ln in ls:
+                            ls.move_to_end(ln)
+                            a_l1 += 1
+                            rec_c += l1_lat
+                        else:
+                            rec_c += mem._line_access(
+                                ln, True, now + t_rec + rec_c)
+                        ln += 1
+                # the key-compare ticks land before the value access and
+                # see no delegation in between: one combined advance
+                now += t_rec + rec_c + KEY_COMPARE_CYCLES
+                dset = dtlb_sets[vpn_v % dtlb_nsets]
+                pfn = dset.get(vpn_v)
+                if pfn is not None:
+                    dset.move_to_end(vpn_v)
+                    a_dtlb += 1
+                    t_val = dtlb_lat
+                else:
+                    mem.now = now
+                    pfn, t_val, _hit, _walked = mem._translate(vpn_v)
+                ln = ((pfn << PAGE_SHIFT)
+                      | (value_va & _PAGE_OFF_MASK)) >> _LINE_SHIFT
+                line_end = (ln + (vspan_end >> _LINE_SHIFT)
+                            - (value_va >> _LINE_SHIFT))
+                if ln == line_end:
+                    ls = l1_sets[ln & l1_mask]
+                    if ln in ls:
+                        ls.move_to_end(ln)
+                        a_l1 += 1
+                        val_c = l1_lat
+                    else:
+                        val_c = mem._line_access(ln, True, now + t_val)
+                else:
+                    val_c = 0
+                    while ln <= line_end:
+                        ls = l1_sets[ln & l1_mask]
+                        if ln in ls:
+                            ls.move_to_end(ln)
+                            a_l1 += 1
+                            val_c += l1_lat
+                        else:
+                            val_c += mem._line_access(
+                                ln, True, now + t_val + val_c)
+                        ln += 1
+                now += t_val + val_c
+                nf += 1
+                a_transl += t_rec + t_val
+                a_rec += rec_c
+                a_val += val_c
+        finally:
+            # an exception inside a reference-path call can leave
+            # ``mem.now`` ahead of the local (the call advanced it after
+            # the sync); the local is ahead in every normal flow
+            if now > mem.now:
+                mem.now = now
+            v.n_fast += nf
+            v.acc_stlt_c += a_stlt
+            v.acc_transl += a_transl
+            v.acc_rec_c += a_rec
+            v.acc_val_c += a_val
+            v.acc_dtlb += a_dtlb
+            v.acc_l1 += a_l1
+            v.acc_stb += a_stb
+        return g, s
+
+    @staticmethod
+    def _pending(v: _CoreView) -> int:
+        """Cycles accumulated in ``v`` but not yet flushed."""
+        return (v.n_fast * v.fast_const + v.acc_stlt_c + v.acc_transl
+                + v.acc_rec_c + v.acc_val_c)
+
+    def _flush(self, v: _CoreView) -> None:
+        """Fold the deferred all-hit accumulators into the real
+        counters.  Every term below mirrors one ``+= 1`` / tick of the
+        reference path (see the all-hit commit phase in ``do_get``)."""
+        nf = v.n_fast
+        if not nf:
+            return
+        stats = v.stats
+        stats.total_cycles += (nf * v.fast_const + v.acc_stlt_c
+                               + v.acc_transl + v.acc_rec_c + v.acc_val_c)
+        stats.accesses += 3 * nf
+        stats.reads += 3 * nf
+        stats.dtlb_hits += v.acc_dtlb
+        stats.l1_hits += v.acc_l1
+        v.dtlb.hits += v.acc_dtlb
+        v.l1.hits += v.acc_l1
+        attr = v.attr
+        attr["hash"] = attr.get("hash", 0) + nf * self._hash_cost
+        attr["stlt"] = (attr.get("stlt", 0) + nf * v.fast_stlt_attr
+                        + v.acc_stlt_c)
+        attr["translation"] = attr.get("translation", 0) + v.acc_transl
+        attr["record"] = attr.get("record", 0) + v.acc_rec_c
+        attr["value"] = attr.get("value", 0) + v.acc_val_c
+        attr["compare"] = (attr.get("compare", 0)
+                           + nf * KEY_COMPARE_CYCLES)
+        frontend = v.frontend
+        frontend.gets += nf
+        frontend.fast_hits += nf
+        stu = v.stu
+        stu.load_va_count += nf
+        stu.load_va_hits += nf
+        stlt = v.stlt
+        stlt.lookups += nf
+        stlt.hits += nf
+        v.ipb.probes += nf
+        v.counter_policy.updates += nf
+        v.stb.inserts += v.acc_stb
+        oracle = v.oracle
+        oracle.checks += nf
+        oracle.fast_checks += nf
+        v.n_fast = 0
+        v.acc_stlt_c = 0
+        v.acc_transl = 0
+        v.acc_rec_c = 0
+        v.acc_val_c = 0
+        v.acc_dtlb = 0
+        v.acc_l1 = 0
+        v.acc_stb = 0
+
+    # ------------------------------------------------------------------
+    # per-op executors
+    # ------------------------------------------------------------------
+
+    def do_set(self, core_id: int, key_id: int, value_size: int) -> None:
+        """SETs are rare and mutate the index: reference path, always."""
+        self.engine.bind_core(core_id)
+        self.engine.do_set(core_id, key_id, value_size)
+
+    def do_get(self, core_id: int, key_id: int) -> None:
+        engine = self.engine
+        if not self.fused:
+            engine.bind_core(core_id)
+            engine.do_get(core_id, key_id)
+            return
+        v = self._views[core_id]
+        stu = v.stu
+        stlt = stu.stlt
+        if not stu.enabled or stlt is None or v.crs.num_rows == 0:
+            # monitor switched the STLT off, or a detached STLT:
+            # reference semantics (including the STLTError raise)
+            engine.bind_core(core_id)
+            engine.do_get(core_id, key_id)
+            return
+        if stlt is not v.stlt:
+            # chaos STLTresize swapped the table: flush anything already
+            # accumulated against the old object, drop the geometry memo
+            self._flush(v)
+            self._hot.clear()
+            v.sync_stlt(stlt)
+
+        hot = self._hot.get(key_id)
+        if hot is None:
+            key = key_bytes(key_id)
+            integer = self._hash(key)
+            hot = (key, integer,
+                   ((integer >> SUBINT_BITS) & v.stlt_set_mask)
+                   * v.stlt_ways,
+                   integer & SUBINT_MASK)
+            self._hot[key_id] = hot
+        key, integer, base, subint = hot
+
+        (l1_sets, l1_mask, l1_lat, dtlb_sets, dtlb_nsets, dtlb_lat,
+         vas, subints, counters, ptes, ways, base_pa, ipb_buf, by_va,
+         stb_buf, stb_cap, va_only, randbelow, pol, pre_ticks,
+         mid_ticks, mem, space) = v.ro
+
+        # ---- shape phase: prove the op takes the fused-hit shape -----
+        # (read-only — any bail below re-executes the op on the general
+        # kernel from untouched state.  Cache/TLB misses are NOT bails:
+        # the execute phase delegates them line by line.)
+        way = -1
+        for w in range(ways):
+            j = base + w
+            if vas[j] != 0 and subints[j] == subint:
+                if way >= 0:
+                    way = -2  # multi-match: needs the scan's RNG draw
+                    break
+                way = w
+        if way < 0:
+            self._general_get(v, core_id, key, integer, key_id)
+            return
+        j = base + way
+        row_va = vas[j]
+        vpn_r = row_va >> PAGE_SHIFT
+        if vpn_r in ipb_buf:
+            self._general_get(v, core_id, key, integer, key_id)
+            return
+        record = by_va.get(row_va)
+        if (record is None or record.va != row_va or record.key != key
+                or record.external_value_va is not None):
+            self._general_get(v, core_id, key, integer, key_id)
+            return
+        size = record.value_size
+        if size == 0:
+            # access_value short-circuits before touching memory; the
+            # fused bundle assumes the value access exists
+            self._general_get(v, core_id, key, integer, key_id)
+            return
+        rspan_end = row_va + record.header_bytes + 24 - 1
+        value_va = rspan_end + 1
+        vspan_end = value_va + size - 1
+        vpn_v = value_va >> PAGE_SHIFT
+        if (rspan_end >> PAGE_SHIFT != vpn_r
+                or vspan_end >> PAGE_SHIFT != vpn_v):
+            # a page-straddling span: the general kernel's multi-vpn loop
+            self._general_get(v, core_id, key, integer, key_id)
+            return
+        # the oracle's fast-hit liveness check (untimed)
+        mapped = self._mapped
+        if vpn_r not in mapped:
+            if space.translate(row_va) is None:
+                # a violation: the general kernel raises it canonically
+                self._general_get(v, core_id, key, integer, key_id)
+                return
+            mapped.add(vpn_r)
+
+        # ---- execute phase: the reference op with deferred counts ----
+        # ``mem.now`` stays exact at every delegated ``_translate`` /
+        # ``_line_access`` call; only pure event counters are deferred.
+        l1h = 0      # inlined L1 hits this op
+        dtlbh = 0    # inlined D-TLB hits this op
+        # hash + loadVA issue ticks
+        mem.now += pre_ticks
+        # the physical STLT set load
+        p0 = base_pa + base * ROW_BYTES
+        ln = p0 >> _LINE_SHIFT
+        line_end = (p0 + ways * ROW_BYTES - 1) >> _LINE_SHIFT
+        phys = 0
+        while ln <= line_end:
+            ls = l1_sets[ln & l1_mask]
+            if ln in ls:
+                ls.move_to_end(ln)
+                l1h += 1
+                phys += l1_lat
+            else:
+                phys += mem._line_access(ln, at=mem.now + phys)
+            ln += 1
+        mem.now += phys
+        # IPB probe + counter store ticks (no delegation in between)
+        mem.now += mid_ticks
+        # the probabilistic counter update (the op's one RNG draw)
+        cval = counters[j]
+        if randbelow is not None:
+            # inlined ProbabilisticCounterPolicy.update (updates are
+            # deferred into n_fast; counter values are never negative)
+            if randbelow(1 << cval) == 0:
+                pol.increments += 1
+                if cval >= COUNTER_MAX:
+                    pol.overflows += 1
+                    counters[j] = COUNTER_MAX // 2
+                else:
+                    counters[j] = cval + 1
+        else:
+            counters[j] = pol.update(cval)
+            pol.updates -= 1  # the flush re-adds it with n_fast
+        # the STB forward
+        if not va_only:
+            pte = ptes[j]
+            if pte:
+                if vpn_r in stb_buf:
+                    stb_buf[vpn_r] = pte
+                else:
+                    if len(stb_buf) >= stb_cap:
+                        stb_buf.popitem(last=False)
+                    stb_buf[vpn_r] = pte
+                v.acc_stb += 1
+        # the validate dereference (header + key) ...
+        dset = dtlb_sets[vpn_r % dtlb_nsets]
+        pfn = dset.get(vpn_r)
+        if pfn is not None:
+            dset.move_to_end(vpn_r)
+            dtlbh += 1
+            t_rec = dtlb_lat
+        else:
+            pfn, t_rec, _hit, _walked = mem._translate(vpn_r)
+        ln = ((pfn << PAGE_SHIFT) | (row_va & _PAGE_OFF_MASK)) >> _LINE_SHIFT
+        line_end = ln + (rspan_end >> _LINE_SHIFT) - (row_va >> _LINE_SHIFT)
+        rec_c = 0
+        while ln <= line_end:
+            ls = l1_sets[ln & l1_mask]
+            if ln in ls:
+                ls.move_to_end(ln)
+                l1h += 1
+                rec_c += l1_lat
+            else:
+                rec_c += mem._line_access(ln, at=mem.now + t_rec + rec_c)
+            ln += 1
+        mem.now += t_rec + rec_c
+        # ... the key compare ...
+        mem.now += KEY_COMPARE_CYCLES
+        # ... and the value access
+        dset = dtlb_sets[vpn_v % dtlb_nsets]
+        pfn = dset.get(vpn_v)
+        if pfn is not None:
+            dset.move_to_end(vpn_v)
+            dtlbh += 1
+            t_val = dtlb_lat
+        else:
+            pfn, t_val, _hit, _walked = mem._translate(vpn_v)
+        ln = ((pfn << PAGE_SHIFT)
+              | (value_va & _PAGE_OFF_MASK)) >> _LINE_SHIFT
+        line_end = ln + (vspan_end >> _LINE_SHIFT) - (value_va >> _LINE_SHIFT)
+        val_c = 0
+        while ln <= line_end:
+            ls = l1_sets[ln & l1_mask]
+            if ln in ls:
+                ls.move_to_end(ln)
+                l1h += 1
+                val_c += l1_lat
+            else:
+                val_c += mem._line_access(ln, at=mem.now + t_val + val_c)
+            ln += 1
+        mem.now += t_val + val_c
+        # defer the pure event counts (flushed at measurement boundaries;
+        # total cycles are derived from the parts at flush time)
+        v.n_fast += 1
+        v.acc_stlt_c += phys
+        v.acc_transl += t_rec + t_val
+        v.acc_rec_c += rec_c
+        v.acc_val_c += val_c
+        v.acc_dtlb += dtlbh
+        v.acc_l1 += l1h
+
+    # ------------------------------------------------------------------
+    # the general fused kernel (any op shape; immediate counters)
+    # ------------------------------------------------------------------
+
+    def _general_get(self, v: _CoreView, core_id: int, key: bytes,
+                     integer: int, key_id: int) -> None:
+        engine = self.engine
+        stu = v.stu
+        stlt = v.stlt
+        mem = v.mem
+        stats = v.stats
+        attr = v.attr
+        frontend = v.frontend
+        frontend.gets += 1
+
+        # STLTFrontend._integer: the fast-hash cost tick
+        c = self._hash_cost
+        mem.now += c
+        stats.total_cycles += c
+        attr["hash"] = attr.get("hash", 0) + c
+
+        # STU.load_va: fixed issue cost
+        stu.load_va_count += 1
+        c = v.load_va_cycles
+        mem.now += c
+        stats.total_cycles += c
+        attr["stlt"] = attr.get("stlt", 0) + c
+
+        # STLT.scan (inlined; preserves the multi-match RNG draw)
+        stlt.lookups += 1
+        set_index = (integer >> SUBINT_BITS) & v.stlt_set_mask
+        subint = integer & SUBINT_MASK
+        ways = v.stlt_ways
+        base = set_index * ways
+        vas = v.stlt_vas
+        subints = v.stlt_subints
+        way = -1
+        nmatch = 0
+        for w in range(ways):
+            i = base + w
+            if vas[i] != 0 and subints[i] == subint:
+                if nmatch == 0:
+                    way = w
+                nmatch += 1
+        if nmatch:
+            if nmatch > 1:
+                stlt.multi_matches += 1
+                way = stlt._rng.choice([
+                    w for w in range(ways)
+                    if vas[base + w] != 0 and subints[base + w] == subint
+                ])
+            stlt.hits += 1
+
+        # the physical STLT set load through the data caches
+        self._physical(v, v.stlt_base_pa + base * ROW_BYTES,
+                       ways * ROW_BYTES)
+
+        va_hit = 0
+        if nmatch:
+            i = base + way
+            row_va = vas[i]
+            # IPB probe
+            c = v.ipb_probe_cycles
+            mem.now += c
+            stats.total_cycles += c
+            attr["stlt"] = attr.get("stlt", 0) + c
+            ipb = v.ipb
+            ipb.probes += 1
+            if (row_va >> PAGE_SHIFT) in v.ipb_buf:
+                ipb.hits += 1
+                stu.load_va_ipb_filtered += 1
+            else:
+                # hit: probabilistic counter store + STB forward
+                counters = v.stlt_counters
+                counters[i] = v.counter_policy.update(counters[i])
+                c = v.counter_store_cycles
+                mem.now += c
+                stats.total_cycles += c
+                attr["stlt"] = attr.get("stlt", 0) + c
+                if not v.va_only:
+                    pte = v.stlt_ptes[i]
+                    if pte:
+                        v.stb.insert(row_va >> PAGE_SHIFT, pte)
+                stu.load_va_hits += 1
+                va_hit = row_va
+
+        fast_hit = False
+        record = None
+        if va_hit:
+            # LookupFrontend._validate: timed dereference + key compare
+            record = v.by_va.get(va_hit)
+            if record is None or record.va != va_hit:
+                # stale pointer: the load still happens, the compare fails
+                self._access(v, va_hit, RECORD_HEADER_BYTES + len(key),
+                             "record")
+                record = None
+            else:
+                self._access(v, record.va,
+                             record.header_bytes + len(record.key),
+                             "record")
+            c = KEY_COMPARE_CYCLES
+            mem.now += c
+            stats.total_cycles += c
+            attr["compare"] = attr.get("compare", 0) + c
+            if record is not None:
+                if record.key != key:
+                    record = None
+                else:
+                    frontend.fast_hits += 1
+                    fast_hit = True
+
+        if record is None:
+            # slow path: the timed index traversal, then insertSTLT —
+            # reference code against the bound core
+            engine.bind_core(core_id)
+            record = v.index.lookup(key)
+            if record is not None:
+                stu.insert_stlt(integer, record.va)
+            else:
+                raise KVSError(f"GET lost key id {key_id}")
+
+        # the stale-translation oracle (untimed); inlined happy path,
+        # canonical check_get on any failure so messages and counters
+        # stay byte-identical
+        oracle = v.oracle
+        if v.by_va.get(record.va) is record and record.key == key:
+            oracle.checks += 1
+            if fast_hit:
+                oracle.fast_checks += 1
+                if v.space.translate(record.va) is None:
+                    oracle.checks -= 1
+                    oracle.fast_checks -= 1
+                    oracle.check_get(key, record, fast_hit=True)
+        else:
+            oracle.check_get(key, record, fast_hit=fast_hit)
+
+        # RecordStore.access_value
+        size = record.value_size
+        if size:
+            if record.external_value_va is not None:
+                # redis layout: reference path against the bound core
+                engine.bind_core(core_id)
+                v.records.access_value(record)
+            else:
+                self._access(
+                    v,
+                    record.va + record.header_bytes + len(record.key),
+                    size, "value")
+
+    # ------------------------------------------------------------------
+    # fused memory primitives (bit-identical to MemorySystem.access /
+    # physical_access: hit cases inlined, miss cases delegated with the
+    # reference timestamps)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _access(v: _CoreView, vaddr: int, size: int, kind: str) -> None:
+        """Virtually addressed read, mirroring ``MemorySystem.access``."""
+        stats = v.stats
+        stats.accesses += 1
+        stats.reads += 1
+        mem = v.mem
+        first_line = vaddr >> _LINE_SHIFT
+        last_line = (vaddr + size - 1) >> _LINE_SHIFT
+        if first_line == last_line:
+            vpn = vaddr >> PAGE_SHIFT
+            s = v.dtlb_sets[vpn % v.dtlb_nsets]
+            pfn = s.get(vpn)
+            if pfn is not None:
+                s.move_to_end(vpn)
+                v.dtlb.hits += 1
+                stats.dtlb_hits += 1
+                t_cycles = v.dtlb_latency
+            else:
+                pfn, t_cycles, _hit, _walked = mem._translate(vpn)
+            paddr_line = ((pfn << PAGE_SHIFT)
+                          | (vaddr & _PAGE_OFF_MASK)) >> _LINE_SHIFT
+            ls = v.l1_sets[paddr_line & v.l1_mask]
+            if paddr_line in ls:
+                ls.move_to_end(paddr_line)
+                v.l1.hits += 1
+                stats.l1_hits += 1
+                cycles = t_cycles + v.l1_latency
+            else:
+                cycles = t_cycles + mem._line_access(
+                    paddr_line, at=mem.now + t_cycles)
+            mem.now += cycles
+            stats.total_cycles += cycles
+            attr = v.attr
+            attr["translation"] = attr.get("translation", 0) + t_cycles
+            attr[kind] = attr.get(kind, 0) + (cycles - t_cycles)
+            return
+        cycles = 0
+        translation_cycles = 0
+        last_vpn = -1
+        pfn = 0
+        for line in range(first_line, last_line + 1):
+            line_va = line << _LINE_SHIFT
+            vpn = line_va >> PAGE_SHIFT
+            if vpn != last_vpn:
+                s = v.dtlb_sets[vpn % v.dtlb_nsets]
+                p = s.get(vpn)
+                if p is not None:
+                    s.move_to_end(vpn)
+                    v.dtlb.hits += 1
+                    stats.dtlb_hits += 1
+                    pfn = p
+                    t_cycles = v.dtlb_latency
+                else:
+                    pfn, t_cycles, _hit, _walked = mem._translate(vpn)
+                cycles += t_cycles
+                translation_cycles += t_cycles
+                last_vpn = vpn
+            paddr_line = ((pfn << PAGE_SHIFT)
+                          | (line_va & _PAGE_OFF_MASK)) >> _LINE_SHIFT
+            ls = v.l1_sets[paddr_line & v.l1_mask]
+            if paddr_line in ls:
+                ls.move_to_end(paddr_line)
+                v.l1.hits += 1
+                stats.l1_hits += 1
+                cycles += v.l1_latency
+            else:
+                cycles += mem._line_access(paddr_line, at=mem.now + cycles)
+        mem.now += cycles
+        stats.total_cycles += cycles
+        attr = v.attr
+        attr["translation"] = attr.get("translation", 0) + translation_cycles
+        attr[kind] = attr.get(kind, 0) + (cycles - translation_cycles)
+
+    @staticmethod
+    def _physical(v: _CoreView, paddr: int, size: int) -> None:
+        """Physically addressed read, mirroring ``physical_access``."""
+        stats = v.stats
+        stats.accesses += 1
+        stats.reads += 1
+        mem = v.mem
+        cycles = 0
+        line = paddr >> _LINE_SHIFT
+        last_line = (paddr + size - 1) >> _LINE_SHIFT
+        while line <= last_line:
+            ls = v.l1_sets[line & v.l1_mask]
+            if line in ls:
+                ls.move_to_end(line)
+                v.l1.hits += 1
+                stats.l1_hits += 1
+                cycles += v.l1_latency
+            else:
+                cycles += mem._line_access(line, at=mem.now + cycles)
+            line += 1
+        mem.now += cycles
+        stats.total_cycles += cycles
+        v.attr["stlt"] = v.attr.get("stlt", 0) + cycles

@@ -27,6 +27,7 @@ from ..errors import ConfigError
 from ..hashes.registry import HashSpec
 from ..mem.hierarchy import MemorySystem
 from ..mem.address_space import AddressSpace
+from ..mem.kernels import matching_indices, state_digest
 from ..mem.types import AccessKind
 
 CACHE_ENTRY_BYTES = 16
@@ -183,10 +184,15 @@ class SLBCache:
         return True
 
     def invalidate_va(self, record_va: int) -> int:
-        """Drop entries pointing at a moved/deleted record (untimed scan)."""
+        """Drop entries pointing at a moved/deleted record (untimed scan).
+
+        The full-table scan runs through the bulk kernel (vectorised
+        when numpy is available); the signature check filters out empty
+        slots whose VA field happens to equal ``record_va``.
+        """
         dropped = 0
-        for i, va in enumerate(self._vas):
-            if va == record_va and self._sigs[i] != -1:
+        for i in matching_indices(self._vas, record_va):
+            if self._sigs[i] != -1:
                 self._sigs[i] = -1
                 self._vas[i] = 0
                 self._freqs[i] = 0
@@ -194,8 +200,15 @@ class SLBCache:
         return dropped
 
     def _age(self) -> None:
-        self._freqs = [f >> 1 for f in self._freqs]
-        self._log = [f >> 1 for f in self._log]
+        # in place: execution-mode digests (and any kernel views) hold
+        # direct references onto these lists
+        self._freqs[:] = [f >> 1 for f in self._freqs]
+        self._log[:] = [f >> 1 for f in self._log]
+
+    def state_digest(self) -> str:
+        """Stable digest of the cache + log tables (mode drift guard)."""
+        return state_digest(self.num_entries, self._sigs, self._vas,
+                            self._freqs, self._log)
 
     # -- stats -------------------------------------------------------------
 

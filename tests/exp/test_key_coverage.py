@@ -51,6 +51,7 @@ ALTERNATES = {
     "replica_reads": True,
     "migrate_rate": 0.01,
     "net_rtt_cycles": 250.0,
+    "exec_mode": "batched",
     "seed": 99,
     "machine": dataclasses.replace(SCALED_MACHINE, line_bytes=128),
 }
