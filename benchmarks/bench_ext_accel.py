@@ -1,0 +1,147 @@
+"""Five-design translation-accel head-to-head on the Fig. 11 workload.
+
+Runs the Redis workload once per translation design — ``baseline``
+(``accel=none``), the paper's ``stlt``, and the three rival backends
+``victima`` / ``pcax`` / ``revelator`` — under the *same* memory
+system, and reports simulated cycles/op, speedup over baseline, and
+page-walk / STLB-miss reductions per design.
+
+Emits ``BENCH_accel.json`` at the repo root and **fails** (exit 1 /
+assertion) if the STLT design's smoke speedup over baseline drops
+below the pinned floor: the paper's address-centric design must beat
+the translation-centric rivals' common anchor.  CI runs this as part
+of the accel-smoke job.
+
+Scale is env-tunable like the sweep specs: ``REPRO_BENCH_KEYS`` /
+``REPRO_BENCH_OPS`` override the full-size point.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_ext_accel           # full
+    PYTHONPATH=src python -m benchmarks.bench_ext_accel --smoke   # floor only
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.sim.config import RunConfig
+from repro.sim.engine import run_experiment
+
+#: the pinned floor: accel=stlt must beat the shared baseline by at
+#: least this much on the smoke config (measured 1.41x; pinned with
+#: headroom so scheduler noise cannot flake CI — this is *simulated*
+#: cycles, so the only noise source is a code regression)
+SPEEDUP_FLOOR = 1.10
+
+#: the five designs of the head-to-head (ISSUE acceptance criterion)
+DESIGNS = ("none", "stlt", "victima", "pcax", "revelator")
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_accel.json"
+
+#: smoke first: it carries the floor.  fig11 is the paper-scale point
+#: (footprint well past L2-TLB reach so every design differentiates);
+#: env knobs let CI shrink it.
+SIZES = (
+    ("smoke", dict(num_keys=4_000, measure_ops=800, warmup_ops=1_600)),
+    ("fig11", dict(
+        num_keys=int(os.environ.get("REPRO_BENCH_KEYS", "60000")),
+        measure_ops=int(os.environ.get("REPRO_BENCH_OPS", "2000")),
+        warmup_ops=2 * int(os.environ.get("REPRO_BENCH_OPS", "2000")),
+    )),
+)
+
+
+def _reduction(base: int, measured: int) -> float:
+    if base <= 0:
+        return 0.0
+    return round(100.0 * (base - measured) / base, 1)
+
+
+def measure_size(name: str, size: dict) -> dict:
+    out = {"name": name, **size, "designs": {}}
+    anchor = None
+    for design in DESIGNS:
+        config = RunConfig(program="redis", frontend="baseline",
+                           accel=design, **size)
+        result = run_experiment(config)
+        row = {
+            "cycles_per_op": round(result.cycles_per_op, 2),
+            "page_walks": result.page_walks,
+            "stlb_misses": result.tlb_misses,
+        }
+        if result.accel is not None:
+            row["telemetry"] = result.accel
+        if design == "none":
+            anchor = row
+            row["speedup"] = 1.0
+        else:
+            row["speedup"] = round(
+                anchor["cycles_per_op"] / row["cycles_per_op"], 3)
+            row["walk_reduction_pct"] = _reduction(
+                anchor["page_walks"], row["page_walks"])
+            row["stlb_miss_reduction_pct"] = _reduction(
+                anchor["stlb_misses"], row["stlb_misses"])
+        out["designs"][design] = row
+    return out
+
+
+def run_bench(smoke_only: bool = False) -> dict:
+    sizes: List[dict] = []
+    for name, size in SIZES:
+        sizes.append(measure_size(name, size))
+        for design, row in sizes[-1]["designs"].items():
+            print(f"{name:>6} {design:<10} "
+                  f"{row['cycles_per_op']:>8.1f} cycles/op  "
+                  f"{row['speedup']:.2f}x  "
+                  f"walks={row['page_walks']}")
+        if smoke_only:
+            break
+    return {
+        "benchmark": "ext_accel",
+        "floor": SPEEDUP_FLOOR,
+        "smoke_stlt_speedup": sizes[0]["designs"]["stlt"]["speedup"],
+        "sizes": sizes,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def check_floor(payload: dict) -> None:
+    smoke = payload["smoke_stlt_speedup"]
+    if smoke < payload["floor"]:
+        raise AssertionError(
+            f"accel=stlt regressed: smoke speedup {smoke:.2f}x over "
+            f"baseline is below the pinned {payload['floor']:.2f}x floor")
+
+
+def test_accel_speedup_floor():
+    """Pytest entry: accel=stlt must hold the pinned smoke floor."""
+    payload = run_bench(smoke_only=True)
+    check_floor(payload)
+
+
+def main(argv: List[str]) -> int:
+    smoke_only = "--smoke" in argv
+    payload = run_bench(smoke_only=smoke_only)
+    if not smoke_only:
+        OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {OUT_PATH}")
+    try:
+        check_floor(payload)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(f"ok: smoke accel=stlt speedup "
+          f"{payload['smoke_stlt_speedup']:.2f}x >= "
+          f"{SPEEDUP_FLOOR:.2f}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

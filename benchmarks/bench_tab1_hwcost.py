@@ -7,7 +7,7 @@ total 6694 bits = 837 bytes.
 """
 
 from benchmarks.common import print_figure, run_once
-from repro.core.hwcost import hardware_cost
+from repro.core.hwcost import accel_hardware_cost, hardware_cost
 
 PAPER_TABLE_I = {
     "CR_S": 64,
@@ -15,6 +15,16 @@ PAPER_TABLE_I = {
     "STB": 4096,
     "Insertion buffer": 1376,
     "Total": 6694,
+}
+
+#: per-backend budgets for the translation-accel head-to-head, at the
+#: default accounting parameters (these are *our* cost models — pinned
+#: so refactors cannot silently change a design's reported budget)
+ACCEL_BUDGET_BYTES = {
+    "stlt": 837,          # Table I exactly
+    "victima": 9284,      # L2/L3 TLB-block tags dominate
+    "pcax": 157726,       # 4096-set x 4-way PC-indexed table
+    "revelator": 30,      # near-free: seeds + status + comparator
 }
 
 
@@ -32,3 +42,24 @@ def test_tab1_hardware_cost(benchmark):
     for component, bits in report.rows():
         assert bits == PAPER_TABLE_I[component], component
     assert report.total_bytes == 837
+
+
+def test_tab1_accel_backend_budgets(benchmark):
+    reports = run_once(
+        benchmark,
+        lambda: {accel: accel_hardware_cost(accel)
+                 for accel in ACCEL_BUDGET_BYTES})
+    rows = [[accel, str(ACCEL_BUDGET_BYTES[accel]),
+             str(report.total_bytes)]
+            for accel, report in reports.items()]
+    print_figure(
+        "Table I (ext) — per-backend translation-accel budgets (bytes)",
+        ["backend", "pinned", "measured"],
+        rows,
+        notes=["stlt row is the paper's Table I; rivals use the "
+               "repro.core.hwcost per-backend cost models"],
+    )
+    for accel, report in reports.items():
+        assert report.total_bytes == ACCEL_BUDGET_BYTES[accel], accel
+    # accel=none carries no hardware at all
+    assert accel_hardware_cost("none").total_bytes == 0

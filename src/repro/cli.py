@@ -71,7 +71,7 @@ import time
 from typing import List, Optional
 
 from . import __version__
-from .core.hwcost import hardware_cost
+from .core.hwcost import accel_hardware_cost, hardware_cost
 from .errors import (
     AddressError,
     AllocationError,
@@ -89,6 +89,7 @@ from .exp import (
     ResultStore,
     SweepRunner,
     SweepSpec,
+    accel_table,
     builtin_sweeps,
     churn_table,
     cluster_table,
@@ -103,6 +104,7 @@ from .exp import (
 )
 from .sim.breakdown import run_breakdown
 from .sim.config import (
+    ACCELS,
     DISPATCH_POLICIES,
     DISTRIBUTIONS,
     EXEC_MODES,
@@ -144,6 +146,20 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--program", choices=PROGRAMS,
                         default="unordered_map")
     parser.add_argument("--frontend", choices=FRONTENDS, default="stlt")
+    parser.add_argument("--accel", choices=ACCELS, default="none",
+                        help="translation-acceleration backend "
+                             "(repro.accel); requires --frontend "
+                             "baseline for non-'none' values")
+    parser.add_argument("--accel-rows", type=int, default=None,
+                        help="accel table sets (victima/pcax); default "
+                             "sized to the workload's page footprint")
+    parser.add_argument("--accel-ways", type=int, default=4)
+    parser.add_argument("--accel-probe-cycles", type=int, default=None,
+                        help="accel probe latency; default per backend")
+    parser.add_argument("--spec-validate-cycles", type=int, default=4,
+                        help="revelator: cost of a correct speculation")
+    parser.add_argument("--spec-mispredict-cycles", type=int, default=24,
+                        help="revelator: misspeculation penalty")
     parser.add_argument("--distribution", choices=DISTRIBUTIONS,
                         default="zipf")
     parser.add_argument("--value-size", type=int, default=64)
@@ -190,6 +206,15 @@ def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
         stlt_rows=args.stlt_rows,
         stlt_ways=args.stlt_ways,
         fast_hash=args.fast_hash,
+        # translation-accel knobs; forced to "none" when a comparison
+        # baseline config is being derived (frontend="baseline")
+        accel=(getattr(args, "accel", "none")
+               if frontend is None else "none"),
+        accel_rows=getattr(args, "accel_rows", None),
+        accel_ways=getattr(args, "accel_ways", 4),
+        accel_probe_cycles=getattr(args, "accel_probe_cycles", None),
+        spec_validate_cycles=getattr(args, "spec_validate_cycles", 4),
+        spec_mispredict_cycles=getattr(args, "spec_mispredict_cycles", 24),
         prefetchers=tuple(args.prefetchers),
         prefill=not args.no_prefill,
         num_cores=args.cores,
@@ -237,6 +262,11 @@ def _print_result(result: RunResult) -> None:
         print(f"table size    : {result.fast_table_bytes >> 10} KiB")
     if result.mem.stb_hits:
         print(f"STB hits      : {result.mem.stb_hits}")
+    if result.accel is not None:
+        pairs = ", ".join(f"{key}={value}"
+                          for key, value in sorted(result.accel.items())
+                          if key != "accel")
+        print(f"accel         : {result.accel.get('accel')} ({pairs})")
     if result.cores:
         print(f"cores         : {result.num_cores}")
         print(f"throughput    : {result.throughput:.4f} ops/cycle")
@@ -252,18 +282,23 @@ def _print_result(result: RunResult) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    result = run_experiment(config)
+    # an accel run counts as accelerated even though its frontend is
+    # "baseline"; the comparison baseline disables both axes
+    accelerated = (args.frontend != "baseline"
+                   or getattr(args, "accel", "none") != "none")
     if args.json:
+        result = run_experiment(config)
         record = make_record(config, result)
-        if args.compare_baseline and args.frontend != "baseline":
+        if args.compare_baseline and accelerated:
             base_config = _config_from_args(args, "baseline")
             baseline = run_experiment(base_config)
             record["baseline"] = make_record(base_config, baseline)
             record["speedup"] = speedup(baseline, result)
         print(json.dumps(record, sort_keys=True))
         return 0
+    result = run_experiment(config)
     _print_result(result)
-    if args.compare_baseline and args.frontend != "baseline":
+    if args.compare_baseline and accelerated:
         baseline = run_experiment(_config_from_args(args, "baseline"))
         print(f"baseline      : {baseline.cycles_per_op:.1f} cycles/op")
         print(f"speedup       : {speedup(baseline, result):.2f}x")
@@ -519,6 +554,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if "no cluster" not in cluster:
             print()
             print(cluster)
+        accel = accel_table(records)
+        if "no accel" not in accel:
+            print()
+            print(accel)
         print()
         print(report.summary())
         print(f"store: {summary['store_hits']} hit(s), "
@@ -529,11 +568,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def cmd_hwcost(_args: argparse.Namespace) -> int:
+def cmd_hwcost(args: argparse.Namespace) -> int:
+    # Table I first — the paper's own design — then the rival
+    # backends' per-design budgets for the head-to-head comparison.
     report = hardware_cost()
+    print("stlt (Table I)")
     for component, bits in report.rows():
         print(f"  {component:<22} {bits:>5} bits")
     print(f"  total bytes: {report.total_bytes}")
+    if not getattr(args, "all_accels", False):
+        return 0
+    for accel in ACCELS:
+        if accel in ("none", "stlt"):
+            continue
+        rival = accel_hardware_cost(accel)
+        print()
+        print(accel)
+        for component, bits in rival.rows():
+            print(f"  {component:<22} {bits:>7} bits")
+        print(f"  total bytes: {rival.total_bytes}")
     return 0
 
 
@@ -697,6 +750,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     hwcost_parser = sub.add_parser(
         "hwcost", help="Table I hardware cost accounting")
+    hwcost_parser.add_argument(
+        "--all-accels", action="store_true",
+        help="also print per-backend budgets for the rival "
+             "translation accels (victima, pcax, revelator)")
     hwcost_parser.set_defaults(func=cmd_hwcost)
     return parser
 

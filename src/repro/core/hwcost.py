@@ -60,3 +60,75 @@ def hardware_cost(
             "Insertion buffer": insertion_entries * (64 + PTE_BITS + PA_BITS),
         }
     )
+
+
+# ----------------------------------------------------------------------
+# rival translation accelerators (repro.accel) — Table-1-style budgets
+# ----------------------------------------------------------------------
+
+PFN_BITS = PA_BITS - PAGE_OFFSET_BITS  # 32
+
+
+def victima_cost(l2_lines: int, l3_lines: int,
+                 fill_buffer_entries: int = 4,
+                 ways: int = 4) -> HardwareCostReport:
+    """Victima parks translations in *existing* L2/L3 data capacity, so
+    its dedicated budget is per-line metadata plus control:
+
+    * 2 bits per L2/L3 line (is-TLB-block tag + replacement hint);
+    * a PTW-fill buffer staging walked translations into the cache;
+    * vpn tag comparators on the probe path (one per way).
+    """
+    return HardwareCostReport(
+        components={
+            "Cache TLB-block tags": 2 * (l2_lines + l3_lines),
+            "PTW fill buffer": fill_buffer_entries * (VPN_BITS + PTE_BITS),
+            "Probe comparators": ways * VPN_BITS,
+        }
+    )
+
+
+def pcax_cost(sets: int, ways: int = 4, pc_bits: int = 8) -> HardwareCostReport:
+    """PCAX keeps a dedicated PC-indexed translation table: every entry
+    stores a vpn tag, the pfn, a valid bit, and the (hashed) PC tag of
+    the op site that trained it."""
+    entry_bits = VPN_BITS + PFN_BITS + 1 + pc_bits
+    return HardwareCostReport(
+        components={
+            "PC-indexed table": sets * ways * entry_bits,
+            "PC hash": 64,
+            "Probe comparators": ways * (VPN_BITS + pc_bits),
+        }
+    )
+
+
+def revelator_cost() -> HardwareCostReport:
+    """Revelator speculates via a software-managed hash, so its on-chip
+    cost is control state only: the hash-function seed registers, the
+    in-flight speculation status, and the validation comparator that
+    squashes misspeculated fetches."""
+    return HardwareCostReport(
+        components={
+            "Hash seed registers": 128,
+            "Speculation status": 64,
+            "Validation comparator": PA_BITS,
+        }
+    )
+
+
+def accel_hardware_cost(accel: str, *, accel_rows: int = 4096,
+                        accel_ways: int = 4,
+                        l2_lines: int = 4096,
+                        l3_lines: int = 32768) -> HardwareCostReport:
+    """Per-backend hardware budget for the repro.accel head-to-head."""
+    if accel == "stlt":
+        return hardware_cost()
+    if accel == "victima":
+        return victima_cost(l2_lines, l3_lines, ways=accel_ways)
+    if accel == "pcax":
+        return pcax_cost(accel_rows, ways=accel_ways)
+    if accel == "revelator":
+        return revelator_cost()
+    if accel == "none":
+        return HardwareCostReport(components={})
+    raise ValueError(f"unknown accel {accel!r}")

@@ -29,6 +29,7 @@ Typical use::
 
 from .progress import NullProgress, ProgressReporter
 from .reporting import (
+    accel_table,
     churn_table,
     cluster_table,
     latency_table,

@@ -21,7 +21,8 @@ from ..sim.results import RunResult, format_table
 
 __all__ = ["metrics_from_record", "summary_table", "speedup_table",
            "scaling_table", "latency_table", "max_rate_under_slo",
-           "churn_table", "cluster_table", "sweep_summary"]
+           "churn_table", "cluster_table", "accel_table",
+           "sweep_summary"]
 
 
 def metrics_from_record(record: dict) -> dict:
@@ -92,6 +93,9 @@ def metrics_from_record(record: dict) -> dict:
         "migrations_committed": _cluster_field(result, "migration",
                                                "committed"),
         "route_violations": _cluster_field(result, "oracle_violations"),
+        # translation-accel lab (repro.accel): the backend's telemetry
+        # dict, or None for unaccelerated runs
+        "accel": result.accel,
     }
 
 
@@ -226,6 +230,17 @@ def _group_key(config: dict) -> Tuple:
     )
 
 
+def _design_of(config: dict) -> str:
+    """The design a record represents: its frontend, or — for runs in
+    the translation-accel lab — its ``accel`` backend (those all run
+    on the baseline frontend, which would otherwise hide them among
+    the true baselines)."""
+    accel = config.get("accel", "none")
+    if accel and accel != "none":
+        return f"accel-{accel}"
+    return config.get("frontend", "?")
+
+
 def speedup_table(records: Iterable[dict]) -> str:
     """Paper-style speedups: every run vs the matching baseline run.
 
@@ -238,7 +253,7 @@ def speedup_table(records: Iterable[dict]) -> str:
     for record in records:
         config = record.get("config", {})
         group = groups.setdefault(_group_key(config), {})
-        group.setdefault(config.get("frontend", "?"), []).append(record)
+        group.setdefault(_design_of(config), []).append(record)
 
     rows: List[List[str]] = []
     for key in sorted(groups, key=repr):
@@ -264,6 +279,89 @@ def speedup_table(records: Iterable[dict]) -> str:
     if not rows:
         return "(no baseline-comparable records)"
     return format_table(["program", "run", "cycles/op", "speedup"], rows)
+
+
+#: display order of the head-to-head designs (baseline anchor first)
+_ACCEL_ORDER = ("baseline", "accel-stlt", "accel-victima",
+                "accel-pcax", "accel-revelator")
+
+
+def accel_table(records: Iterable[dict]) -> str:
+    """The five-design translation-accel head-to-head.
+
+    One row per design per workload group: cycles/op, speedup against
+    the unaccelerated baseline of the *same* seeded workload, the
+    page-walk and L2-TLB-miss reductions (the translation story), the
+    design's own telemetry hit count (STLT fast hits surface through
+    ``fast_miss_rate``; victima/pcax report probe hits; revelator
+    correct speculations), and the oracle verdict — every design runs
+    with the stale-translation oracle armed, so "OK" means zero stale
+    reads, not "unchecked".
+    """
+    groups: Dict[Tuple, Dict[str, dict]] = {}
+    for record in records:
+        config = record.get("config", {})
+        design = _design_of(config)
+        if design not in _ACCEL_ORDER:
+            continue
+        groups.setdefault(_group_key(config), {})[design] = record
+
+    rows: List[List[str]] = []
+    for key in sorted(groups, key=repr):
+        group = groups[key]
+        base_record = group.get("baseline")
+        if base_record is None:
+            continue
+        if all(design == "baseline" for design in group):
+            # a lone unaccelerated run is not a head-to-head
+            continue
+        base = metrics_from_record(base_record)
+        for design in _ACCEL_ORDER:
+            record = group.get(design)
+            if record is None:
+                continue
+            metrics = metrics_from_record(record)
+            ratio = (base["cycles_per_op"] / metrics["cycles_per_op"]
+                     if metrics["cycles_per_op"] else float("inf"))
+            walks = _reduction(base["page_walks"], metrics["page_walks"])
+            tlb = _reduction(base["tlb_misses"], metrics["tlb_misses"])
+            accel = metrics.get("accel") or {}
+            if design == "accel-stlt":
+                fmr = metrics.get("fast_miss_rate")
+                hits = ("-" if fmr is None
+                        else f"fast hit {1.0 - fmr:.0%}")
+            elif design == "accel-revelator":
+                hits = (f"spec {accel.get('spec_hits', 0)}/"
+                        f"{accel.get('spec_misses', 0)}mis")
+            elif accel:
+                hits = f"hits {accel.get('hits', 0)}"
+            else:
+                hits = "-"
+            violations = metrics.get("oracle_violations")
+            oracle = "OK" if not violations else f"{violations} VIOLATIONS"
+            rows.append([
+                str(key[0]),
+                design.replace("accel-", ""),
+                f"{metrics['cycles_per_op']:.1f}",
+                f"{ratio:.2f}x",
+                f"{walks:+.0%}",
+                f"{tlb:+.0%}",
+                hits,
+                oracle,
+            ])
+    if not rows:
+        return "(no accel head-to-head records)"
+    return format_table(
+        ["program", "design", "cycles/op", "speedup", "walks",
+         "stlb miss", "telemetry", "oracle"],
+        rows)
+
+
+def _reduction(base_count, other_count) -> float:
+    """Relative decrease of an event count (negative = increase)."""
+    if not base_count:
+        return 0.0
+    return (base_count - other_count) / base_count
 
 
 def latency_table(records: Iterable[dict]) -> str:

@@ -440,6 +440,41 @@ def _fastpath_points() -> List[SweepPoint]:
     return spec.expand()
 
 
+#: the five design points of the translation-accel head-to-head
+#: ("Fig. 11 for five designs"): the unaccelerated baseline plus the
+#: four repro.accel backends, all on the baseline frontend
+ACCEL_SWEEP_DESIGNS: Tuple[str, ...] = (
+    "none", "stlt", "victima", "pcax", "revelator")
+
+
+def _accel_points() -> List[SweepPoint]:
+    """Translation-accel head-to-head: five designs, one workload.
+
+    Every design point runs the *identical* seeded workload (same keys,
+    same op stream, same memory system) on the baseline frontend with a
+    different ``accel`` backend attached — the comparison no single
+    paper contains, under one simulator.  The footprint deliberately
+    outgrows the L2 TLB's reach so the translation path is actually
+    exercised: the STLT shows its key-level fast path, victima/pcax
+    their walk elision, revelator its hidden walk latency.  The
+    stale-translation oracle is armed in every run, so a backend that
+    ever served a stale translation would fail the sweep, not skew it
+    (:func:`repro.exp.reporting.accel_table`).
+    """
+    import os
+    num_keys = int(os.environ.get("REPRO_BENCH_KEYS", "20000"))
+    measure_ops = int(os.environ.get("REPRO_BENCH_OPS", "2000"))
+    spec = SweepSpec(
+        name="accel",
+        base=dict(num_keys=num_keys, measure_ops=measure_ops,
+                  program="redis", frontend="baseline"),
+        grid={
+            "accel": list(ACCEL_SWEEP_DESIGNS),
+        },
+    )
+    return spec.expand()
+
+
 #: named campaigns runnable as ``repro sweep <name>``; each entry is
 #: (point factory, one-line description for ``repro sweep --list``)
 _BUILTIN: Dict[str, Tuple[Callable[[], List[SweepPoint]], str]] = {
@@ -467,6 +502,10 @@ _BUILTIN: Dict[str, Tuple[Callable[[], List[SweepPoint]], str]] = {
     "fastpath": (
         _fastpath_points,
         "batched-mode smoke: the fused execution path, 1 and 2 cores"),
+    "accel": (
+        _accel_points,
+        "translation-accel head-to-head: baseline vs stlt/victima/"
+        "pcax/revelator"),
 }
 
 

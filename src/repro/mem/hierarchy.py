@@ -96,6 +96,14 @@ class MemorySystem:
         self.stb = None
         self.stb_probe_cycles = machine.instr.stb_probe_cycles
 
+        #: attached by a translation accelerator backend (repro.accel;
+        #: duck-typed: .resolve(mem, vpn) -> (pfn|None, cycles, walked),
+        #: .invalidate(vpn), and a writable .kind_hint).  Probed on the
+        #: L2-TLB-miss path *after* the STB slot; the backend owns the
+        #: probe/walk/fill protocol and charges its internal costs via
+        #: ``tick(..., attr="accel")`` so breakdowns stay per-design
+        self.accel = None
+
         self.stream_prefetcher = stream_prefetcher
         self.vldp_prefetcher = vldp_prefetcher
         self.tlb_prefetcher = tlb_prefetcher
@@ -116,6 +124,8 @@ class MemorySystem:
         self.tlbs.invalidate(vpn)
         if self.stb is not None:
             self.stb.invalidate(vpn)
+        if self.accel is not None:
+            self.accel.invalidate(vpn)
 
     # ------------------------------------------------------------------
     # clock
@@ -274,6 +284,19 @@ class MemorySystem:
                 return pfn, cycles, False, False
             self.stats.stb_misses += 1
 
+        if self.accel is not None:
+            # the backend owns probe/walk/fill (and misspeculation):
+            # returned cycles are the exposed translation latency; its
+            # internal costs arrive via tick(attr="accel")
+            pfn, accel_cycles, walked = self.accel.resolve(self, vpn)
+            cycles += accel_cycles
+            if pfn is None:
+                raise PageFault(vpn << PAGE_SHIFT)
+            self.tlbs.fill(vpn, pfn)
+            if walked:
+                self._run_tlb_prefetcher(vpn)
+            return pfn, cycles, False, walked
+
         pfn, walk_cycles = self.walker.walk(vpn)
         cycles += walk_cycles
         self.stats.page_walks += 1
@@ -308,6 +331,10 @@ class MemorySystem:
         kind: AccessKind = AccessKind.OTHER,
     ) -> AccessResult:
         """Perform one virtually addressed access of ``size`` bytes."""
+        if self.accel is not None:
+            # op-site pseudo-PC for PC-indexed backends: the access kind
+            # stands in for the instruction address of the issuing site
+            self.accel.kind_hint = kind
         stats = self.stats
         stats.accesses += 1
         if write:
@@ -405,3 +432,11 @@ class MemorySystem:
 
     def detach_stb(self) -> None:
         self.stb = None
+
+    def attach_accel(self, accel) -> None:
+        """Attach a translation-accelerator resolver (repro.accel) to
+        the L2-TLB-miss path; it then owns probe/walk/fill."""
+        self.accel = accel
+
+    def detach_accel(self) -> None:
+        self.accel = None

@@ -101,6 +101,10 @@ class UntimedMemorySystem(MemorySystem):
         write: bool = False,
         kind: AccessKind = AccessKind.OTHER,
     ) -> AccessResult:
+        if self.accel is not None:
+            # same op-site pseudo-PC hint as the timed system: the
+            # PC-indexed backends' *event* counts must match reference
+            self.accel.kind_hint = kind
         stats = self.stats
         stats.accesses += 1
         if write:

@@ -20,6 +20,18 @@ from ..params import SCALED_MACHINE, MachineParams, machine_from_dict
 
 PROGRAMS = ("redis", "unordered_map", "dense_hash_map", "ordered_map", "btree")
 FRONTENDS = ("baseline", "slb", "stlt", "stlt_va", "stlt_sw")
+#: translation-acceleration backends (repro.accel, DESIGN.md section 12):
+#: "none"      — no accelerator; the plain frontend path;
+#: "stlt"      — the paper's STLT/STB/SPTW fast path behind the accel
+#:               interface (bit-identical to frontend="stlt");
+#: "victima"   — Victima-style TLB-reach extension parking translations
+#:               in underutilized L2/L3 capacity (PAPERS.md: Victima);
+#: "pcax"      — PC-indexed translation table fed by op-site pseudo-PCs
+#:               (PAPERS.md: PCAX);
+#: "revelator" — software-guided hash-based *speculative* translation:
+#:               data fetch issued in parallel with the walk, validation
+#:               charged, misspeculation penalised (PAPERS.md: Revelator)
+ACCELS = ("none", "stlt", "victima", "pcax", "revelator")
 DISTRIBUTIONS = ("zipf", "latest", "uniform")
 #: request-arrival models: the classic closed loop (one op in flight
 #: per core, no arrival clock) or an open-loop process served by the
@@ -147,6 +159,27 @@ class RunConfig:
     #: 0 = the quiet network (all transfers free — the bit-identity
     #: anchor for one-node cluster runs)
     net_rtt_cycles: float = 0.0
+    #: translation-acceleration backend (see ACCELS); orthogonal to
+    #: ``frontend`` but only meaningful on the baseline frontend — the
+    #: non-"none" backends replace (not stack on) the key-level fast
+    #: paths, so combining them is rejected at config time
+    accel: str = "none"
+    #: accel table sets (victima parked-translation sets, pcax per-PC
+    #: sets); None -> sized to the workload's page footprint
+    accel_rows: Optional[int] = None
+    #: accel table associativity (victima / pcax)
+    accel_ways: int = 4
+    #: cycles to probe the accel structure on an L2-TLB miss; None ->
+    #: per-backend default (victima probes at L2 latency — the
+    #: translations live in the cache hierarchy — pcax at a small
+    #: near-core SRAM latency)
+    accel_probe_cycles: Optional[int] = None
+    #: revelator: validation cost charged on a *correct* speculation
+    #: (the walk itself is overlapped with the speculative data fetch)
+    spec_validate_cycles: int = 4
+    #: revelator: penalty charged on a misspeculation (squash + refetch)
+    #: on top of the fully exposed walk
+    spec_mispredict_cycles: int = 24
     #: how the engine loop executes (see EXEC_MODES): the timed modes
     #: ("reference", "batched") are bit-identical by contract; "untimed"
     #: pins event counts only.  Content-hashed like every other field,
@@ -217,6 +250,28 @@ class RunConfig:
             raise ConfigError("migration rate must be within [0, 1]")
         if self.net_rtt_cycles < 0:
             raise ConfigError("network RTT cannot be negative")
+        if self.accel not in ACCELS:
+            raise ConfigError(
+                f"unknown accel {self.accel!r}; choose one of {ACCELS!r}")
+        if self.accel != "none" and self.frontend != "baseline":
+            # the accel axis replaces the key-level fast paths; stacking
+            # an accelerator on top of stlt/slb would double-count the
+            # very cycles the head-to-head sweep compares
+            raise ConfigError(
+                f"accel={self.accel!r} requires frontend='baseline' "
+                f"(got {self.frontend!r})")
+        if self.accel_rows is not None and self.accel_rows <= 0:
+            raise ConfigError("accel rows must be positive")
+        if self.accel_ways < 1:
+            raise ConfigError("accel ways must be >= 1")
+        if self.accel_probe_cycles is not None \
+                and self.accel_probe_cycles < 0:
+            raise ConfigError("accel probe cycles cannot be negative")
+        if self.spec_validate_cycles < 0:
+            raise ConfigError("speculation validation cost cannot be "
+                              "negative")
+        if self.spec_mispredict_cycles < 0:
+            raise ConfigError("misspeculation penalty cannot be negative")
         if self.exec_mode not in EXEC_MODES:
             raise ConfigError(
                 f"unknown exec mode {self.exec_mode!r}; "
@@ -252,6 +307,20 @@ class RunConfig:
         if self.slb_entries is not None:
             return self.slb_entries
         return self.effective_stlt_rows
+
+    @property
+    def effective_accel_rows(self) -> int:
+        """Accel table sets: explicit, or sized to the page footprint.
+
+        A scaled workload touches roughly ``num_keys / 8`` distinct data
+        pages (records plus index nodes at the default value sizes), so
+        the default gives the victima/pcax structures TLB-reach headroom
+        comparable to the STLT's 3.2-rows-per-key regime without handing
+        them unlimited capacity.
+        """
+        if self.accel_rows is not None:
+            return self.accel_rows
+        return _nearest_pow2(max(16, self.num_keys // 8))
 
     @property
     def effective_service_requests(self) -> int:
@@ -344,8 +413,12 @@ class RunConfig:
 
     @property
     def label(self) -> str:
+        # an accelerated run names its backend where the frontend would
+        # go (accel requires frontend="baseline", so nothing is hidden)
+        fe = (self.frontend if self.accel == "none"
+              else f"accel-{self.accel}")
         base = (
-            f"{self.program}/{self.frontend}/{self.distribution}"
+            f"{self.program}/{fe}/{self.distribution}"
             f"-{self.value_size}B"
         )
         if self.num_cores > 1:

@@ -87,6 +87,9 @@ class Engine:
         self.stus: List[Optional[STU]] = [None] * config.num_cores
         self.osi: Optional[OSInterface] = None
         self.slb: Optional[SLBCache] = None
+        #: translation-acceleration backend (repro.accel), None when
+        #: config.accel == "none"; set by _build_frontends
+        self.accel = None
         self.frontends: List[LookupFrontend] = self._build_frontends()
         #: compatibility aliases: core 0's view
         self.frontend = self.frontends[0]
@@ -126,6 +129,14 @@ class Engine:
         config = self.config
         kind = config.frontend
         ctx = self.ctx
+        if config.accel != "none":
+            # the pluggable translation-acceleration lab: the backend
+            # builds the per-core front-ends and attaches its resolvers
+            # (accel=stlt reconstructs the legacy stlt branch verbatim
+            # and re-exports self.stus / self.osi — golden-pinned)
+            from ..accel import make_accel  # avoid an import cycle
+            self.accel = make_accel(config.accel, self)
+            return self.accel.build_frontends()
         fast_hash = get_hash(config.fast_hash)
         if kind == "baseline":
             return [make_frontend("baseline", ctx, self.index)
@@ -241,6 +252,8 @@ class Engine:
             result.service = service.to_dict()
         if mc.injector is not None:
             result.chaos = build_chaos_report(self, mc.injector)
+        if self.accel is not None:
+            result.accel = self.accel.report()
         return result
 
     # ------------------------------------------------------------------

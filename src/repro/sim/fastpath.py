@@ -224,12 +224,17 @@ class BatchedOpExecutor:
         self.engine = engine
         config = engine.config
         #: full fusion only for the hardware-STLT front-ends on the
-        #: kernel programs; everything else runs reference ops inside
-        #: the batched loop (identical by construction)
+        #: kernel programs (including the accel=stlt backend, whose
+        #: front-ends are the same STLTFrontend objects); everything
+        #: else — the translation-level accel backends included — runs
+        #: reference ops inside the batched loop (identical by
+        #: construction: correctness first, kernels later)
         self.fused = (
-            config.frontend in ("stlt", "stlt_va")
+            (config.frontend in ("stlt", "stlt_va")
+             or config.accel == "stlt")
             and engine.redis is None
-            and all(f.integer_transform is None for f in engine.frontends)
+            and all(getattr(f, "integer_transform", None) is None
+                    for f in engine.frontends)
         )
         #: key id -> (key bytes, fast-hash integer, STLT row base, subint)
         self._hot: Dict[int, Tuple[bytes, int, int, int]] = {}

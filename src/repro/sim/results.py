@@ -55,6 +55,10 @@ class RunResult:
     #: (:func:`repro.chaos.report.build_chaos_report` — injector event
     #: counters, IPB/scrub statistics, zero-violation oracle verdict)
     chaos: Optional[dict] = None
+    #: accelerated runs only (``config.accel != "none"``): the backend's
+    #: telemetry (:meth:`repro.accel.base.TranslationAccel.report` —
+    #: probe/hit/fill/eviction counters, speculation verdict counts)
+    accel: Optional[dict] = None
     #: cluster runs only: the fleet-level outcome
     #: (:class:`repro.cluster.service.ClusterResult` as a plain dict —
     #: merged latency percentiles/histogram, per-node fairness, route

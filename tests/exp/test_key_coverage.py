@@ -51,6 +51,12 @@ ALTERNATES = {
     "replica_reads": True,
     "migrate_rate": 0.01,
     "net_rtt_cycles": 250.0,
+    "accel": "stlt",
+    "accel_rows": 4096,
+    "accel_ways": 8,
+    "accel_probe_cycles": 7,
+    "spec_validate_cycles": 9,
+    "spec_mispredict_cycles": 50,
     "exec_mode": "batched",
     "seed": 99,
     "machine": dataclasses.replace(SCALED_MACHINE, line_bytes=128),

@@ -2,6 +2,7 @@
 
 from repro.exp import SweepRunner, points_from_configs
 from repro.exp.reporting import (
+    accel_table,
     churn_table,
     metrics_from_record,
     speedup_table,
@@ -32,6 +33,8 @@ EXPECTED_METRIC_KEYS = {
     "cluster_fairness", "route_hits", "route_stale_hits",
     "route_misses", "moved_redirects", "ask_redirects",
     "migrations_committed", "route_violations",
+    # translation-accel telemetry (PR 8) — None for accel=none records
+    "accel",
 }
 
 
@@ -131,3 +134,19 @@ class TestChurnTable:
     def test_quiet_records_render_placeholder(self):
         records = [record_for(frontend=f) for f in ("baseline", "stlt")]
         assert "no churn records" in churn_table(records)
+
+
+class TestAccelTable:
+    def test_accel_free_records_render_placeholder(self):
+        records = [record_for(frontend=f) for f in ("baseline", "stlt")]
+        assert "no accel" in accel_table(records)
+
+    def test_head_to_head_names_every_design(self):
+        records = [record_for(frontend="baseline", accel=accel)
+                   for accel in ("none", "stlt", "victima",
+                                 "pcax", "revelator")]
+        text = accel_table(records)
+        for design in ("baseline", "stlt", "victima", "pcax",
+                       "revelator"):
+            assert design in text
+        assert "speedup" in text

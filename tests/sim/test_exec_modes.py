@@ -113,15 +113,23 @@ class TestBatchedDifferential:
         program=st.sampled_from(("unordered_map", "btree")),
         frontend=st.sampled_from(
             ("baseline", "slb", "stlt", "stlt_va", "stlt_sw")),
+        accel=st.sampled_from(
+            ("none", "stlt", "victima", "pcax", "revelator")),
         num_cores=st.sampled_from((1, 2)),
         churn_rate=st.sampled_from((0.0, 0.03)),
         distribution=st.sampled_from(("zipf", "latest")),
         value_size=st.sampled_from((64, 128)),
     )
-    def test_run_state_is_identical(self, program, frontend, num_cores,
-                                    churn_rate, distribution, value_size):
+    def test_run_state_is_identical(self, program, frontend, accel,
+                                    num_cores, churn_rate, distribution,
+                                    value_size):
+        # a non-'none' accel owns the whole translation path, so it
+        # composes only with the baseline frontend (ConfigError else)
+        if accel != "none":
+            frontend = "baseline"
         config = RunConfig(
-            program=program, frontend=frontend, num_cores=num_cores,
+            program=program, frontend=frontend, accel=accel,
+            num_cores=num_cores,
             churn_rate=churn_rate, distribution=distribution,
             value_size=value_size, num_keys=150, measure_ops=40,
             warmup_ops=80)
@@ -158,12 +166,17 @@ class TestUntimedCounts:
     @settings(max_examples=8, deadline=None)
     @given(
         frontend=st.sampled_from(("baseline", "slb", "stlt", "stlt_sw")),
+        accel=st.sampled_from(
+            ("none", "victima", "pcax", "revelator")),
         churn_rate=st.sampled_from((0.0, 0.03)),
         prefetchers=st.sampled_from(((), ("stream", "vldp")))
     )
-    def test_event_counts_match_reference(self, frontend, churn_rate,
-                                          prefetchers):
-        config = RunConfig(frontend=frontend, churn_rate=churn_rate,
+    def test_event_counts_match_reference(self, frontend, accel,
+                                          churn_rate, prefetchers):
+        if accel != "none":
+            frontend = "baseline"
+        config = RunConfig(frontend=frontend, accel=accel,
+                           churn_rate=churn_rate,
                            prefetchers=prefetchers, num_keys=150,
                            measure_ops=40, warmup_ops=80)
         ref, _ = run_mode(config, "reference")
