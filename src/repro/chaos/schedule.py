@@ -83,13 +83,17 @@ class ChaosSchedule:
     the visiting order alone.
     """
 
-    def __init__(self, churn_rate: float, seed: int) -> None:
+    def __init__(self, churn_rate: float, seed: int,
+                 namespace: str = "chaos_schedule") -> None:
         if not 0.0 <= churn_rate <= 1.0:
             raise ConfigError("churn rate must be within [0, 1]")
         self.churn_rate = churn_rate
-        # the "chaos_schedule" namespace keeps the event-position stream
-        # independent of the workload / service / target-payload streams
-        self.rng = random.Random(derive_seed(seed, "chaos_schedule"))
+        # the namespace keeps the event-position stream independent of
+        # the workload / service / target-payload streams — and of any
+        # *other* schedule sharing the run seed (node-level churn, slot
+        # migration and node faults each draw from their own stream, so
+        # enabling one never shifts another's event positions)
+        self.rng = random.Random(derive_seed(seed, namespace))
         self._kinds = [k for k, _ in _EVENT_WEIGHTS]
         self._weights = [w for _, w in _EVENT_WEIGHTS]
 

@@ -37,7 +37,7 @@ Every :class:`~repro.errors.ReproError` subclass maps to its own exit
 code with a one-line message on stderr (no tracebacks for expected
 failures): config 2, coherence 3, fault plan 4, STLT misuse 5, KVS 6,
 address 7, page fault 8, allocation 9, other repro errors 10,
-cluster 11.
+cluster 11, failover 12.
 
 Examples::
 
@@ -52,6 +52,10 @@ Examples::
     python -m repro chaos --churn-rate 0.1 --compare-baseline
     python -m repro cluster --nodes 4 --replicas 1 --migrate-rate 0.01
     python -m repro cluster --nodes 8 --no-route-cache --net-rtt 300
+    python -m repro cluster --nodes 3 --replicas 1 --net-rtt 300 \
+        --node-fault-plan crash:node=1,at=0.4 --timeout 8 --retries 2
+    python -m repro cluster --nodes 3 --replicas 1 --net-rtt 300 \
+        --node-fault-plan storm:rate=0.001 --eager-repair --hedge 4
     python -m repro breakdown --program redis
     python -m repro sweep smoke --jobs 2
     python -m repro sweep --list
@@ -78,6 +82,7 @@ from .errors import (
     ClusterError,
     CoherenceError,
     ConfigError,
+    FailoverError,
     FaultInjectionError,
     KVSError,
     PageFault,
@@ -93,6 +98,7 @@ from .exp import (
     builtin_sweeps,
     churn_table,
     cluster_table,
+    failover_table,
     get_sweep,
     latency_table,
     make_record,
@@ -131,6 +137,9 @@ EXIT_CODES = {
     AllocationError: 9,
     ReproError: 10,
     ClusterError: 11,
+    # FailoverError subclasses ClusterError; its explicit entry wins
+    # over the superclass in the MRO walk
+    FailoverError: 12,
 }
 
 
@@ -240,6 +249,17 @@ def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
         replica_reads=getattr(args, "replica_reads", False),
         migrate_rate=getattr(args, "migrate_rate", 0.0),
         net_rtt_cycles=getattr(args, "net_rtt", 0.0),
+        # failover knobs, present only on the cluster parser (its
+        # --timeout/--retries/--hedge use cluster_* dests so they never
+        # collide with the serve parser's svc mitigation flags)
+        node_fault_plan=tuple(getattr(args, "node_fault_plan", None)
+                              or ()),
+        failover_detect_cycles=getattr(args, "failover_detect_cycles",
+                                       4000.0),
+        repair_policy=getattr(args, "repair_policy", "lazy"),
+        cluster_timeout=getattr(args, "cluster_timeout", None),
+        cluster_retries=getattr(args, "cluster_retries", 2),
+        cluster_hedge=getattr(args, "cluster_hedge", None),
         exec_mode=getattr(args, "exec_mode", "reference"),
         seed=args.seed,
     )
@@ -447,10 +467,44 @@ def _print_cluster(result: RunResult) -> None:
               f"{network.get('bytes_moved', 0)} bytes, "
               f"{network.get('link_wait_cycles', 0.0):.0f} cycles of "
               f"link wait")
+    resilience = cluster.get("resilience") or {}
+    if resilience:
+        print(f"resilience    : {resilience.get('timeouts', 0)} "
+              f"timeouts ({cluster.get('failed_requests', 0)} requests "
+              f"failed), {resilience.get('hedges', 0)} hedges "
+              f"({resilience.get('hedge_wins', 0)} won)")
+    failover = cluster.get("failover") or {}
+    if failover:
+        events = failover.get("events", {})
+        fired = ", ".join(f"{kind}={count}"
+                          for kind, count in events.items() if count)
+        print(f"node faults   : {fired or 'none fired'} "
+              f"({failover.get('skipped', 0)} skipped)")
+        print(f"failover      : {failover.get('promotions', 0)} "
+              f"promotion(s) over {failover.get('slots_promoted', 0)} "
+              f"slot(s), {failover.get('cancelled_promotions', 0)} "
+              f"cancelled, repair {failover.get('repair_policy')} "
+              f"({cluster.get('eager_repairs', 0)} pushed, "
+              f"{failover.get('post_promotion_moved', 0)} MOVED "
+              f"post-promotion)")
+    if cluster.get("writes"):
+        losses = cluster.get("acked_write_losses", 0)
+        window = (failover or {}).get("loss_window")
+        loss_note = (f"{losses} acked write(s) LOST"
+                     + (f" (requests {window[0]}..{window[1]})"
+                        if window else "")
+                     if losses else "all acked writes survived")
+        print(f"writes        : {cluster.get('writes', 0)} attempted, "
+              f"{cluster.get('acked_writes', 0)} acked; {loss_note}")
     violations = cluster.get("oracle_violations", 0)
+    fviolations = cluster.get("failover_violations", 0)
     print(f"oracle        : "
           f"{'OK' if not violations else f'{violations} VIOLATIONS'} "
           f"(every request served by an authoritative node)")
+    if cluster.get("failover") is not None or fviolations:
+        print(f"acked oracle  : "
+              f"{'OK' if not fviolations else f'{fviolations} VIOLATIONS'} "
+              f"(every replicated acked write survived)")
     for node in cluster.get("per_node", []):
         print(f"  node {node['node']}: {node['requests']} reqs, "
               f"busy {node['busy_fraction']:.1%}, "
@@ -558,6 +612,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if "no accel" not in accel:
             print()
             print(accel)
+        failover = failover_table(records)
+        if "no failover" not in failover:
+            print()
+            print(failover)
         print()
         print(report.summary())
         print(f"store: {summary['store_hits']} hit(s), "
@@ -697,6 +755,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--net-rtt", type=float, default=0.0,
         help="client <-> node network round-trip in core cycles "
              "(default: 0, the quiet network)")
+    cluster_parser.add_argument(
+        "--node-fault-plan", action="append", default=None,
+        metavar="SPEC",
+        help="node fault, e.g. 'crash:node=1,at=0.4', "
+             "'restart:node=1,at=0.8', "
+             "'partition:node=2,start=0.3,stop=0.6', "
+             "'degrade:node=0,factor=4,start=0.2,stop=0.5' or "
+             "'storm:rate=0.001' (repeatable)")
+    cluster_parser.add_argument(
+        "--detect-cycles", type=float, default=4000.0,
+        dest="failover_detect_cycles",
+        help="failure-detector timeout before a dead primary's replica "
+             "is promoted (default: 4000 cycles)")
+    cluster_parser.add_argument(
+        "--repair-policy", choices=("lazy", "eager"), default="lazy",
+        help="how client route caches heal after a promotion: 'lazy' "
+             "(MOVED on next touch) or 'eager' (immediate broadcast)")
+    cluster_parser.add_argument(
+        "--eager-repair", action="store_const", const="eager",
+        dest="repair_policy",
+        help="shorthand for --repair-policy eager")
+    cluster_parser.add_argument(
+        "--timeout", type=float, default=None, dest="cluster_timeout",
+        help="per-attempt client timeout in multiples of one healthy "
+             "exchange (default: none; fault-plan runs default to 8)")
+    cluster_parser.add_argument(
+        "--retries", type=int, default=2, dest="cluster_retries",
+        help="bounded retries after a timed-out attempt (default: 2)")
+    cluster_parser.add_argument(
+        "--hedge", type=float, default=None, dest="cluster_hedge",
+        help="read hedge delay in multiples of one healthy exchange; "
+             "fires a second copy against a reachable replica")
     cluster_parser.add_argument(
         "--arrival", choices=("poisson", "mmpp"), default="poisson",
         help="cluster arrival process (default: poisson)")

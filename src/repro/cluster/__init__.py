@@ -32,9 +32,13 @@ Modules
   route caches, request pipelining, and the replica-read policy;
 * :mod:`~repro.cluster.migration` — live slot migration scheduled
   through the :mod:`repro.chaos` machinery (ASK-style redirects);
+* :mod:`~repro.cluster.failover`  — node-fault injection (crashes,
+  partitions, degradation, seeded storms), failure detection, and
+  replica promotion (DESIGN.md section 13);
 * :mod:`~repro.cluster.service`   — the cluster event loop and
   :class:`~repro.cluster.service.ClusterResult` (merged latency
-  histograms, per-node fairness, route/redirect telemetry).
+  histograms, per-node fairness, route/redirect/failover telemetry,
+  the routing and acked-write oracles).
 
 Everything is a pure function of ``RunConfig.seed``: node *i* derives
 its engine seed from the ``node{i}`` namespace (node 0 keeps the run
@@ -43,6 +47,7 @@ the plain engine — pinned against the golden numbers).
 """
 
 from .client import ClusterClient, RouteCache
+from .failover import FailoverScheduler, NodeFaultSpec, parse_node_fault
 from .migration import MigrationScheduler
 from .network import ClusterNetwork
 from .service import ClusterResult, run_cluster, simulate_cluster
@@ -54,8 +59,11 @@ __all__ = [
     "ClusterNetwork",
     "ClusterResult",
     "ClusterTopology",
+    "FailoverScheduler",
     "MigrationScheduler",
+    "NodeFaultSpec",
     "RouteCache",
+    "parse_node_fault",
     "run_cluster",
     "simulate_cluster",
     "slot_for_key",

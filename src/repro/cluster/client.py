@@ -22,6 +22,19 @@ Clients also own the *pipelining* state (``client_batch`` consecutive
 requests to the same node share one propagation window) and the
 replica-read policy (reads rotate deterministically over a slot's
 primary + replicas when enabled).
+
+Writes route like reads with one extra rule: only the slot's *primary*
+may acknowledge a write, so a cached row pointing at a replica counts
+as stale for a write (the replica answers MOVED to the primary) even
+though the same row is a perfectly good read hit.
+
+Failover (DESIGN.md section 13) adds the timeout path: when a request
+to a cached node times out — the node crashed or sits behind a
+partition, so there is no MOVED reply to heal the row — the client
+drops the row itself (:meth:`on_timeout`) and re-resolves through a
+bootstrap node on the retry, which yields a MOVED to whatever node the
+promotion elected.  Stale routes still die by validation; a dead
+validator is replaced by a timeout plus one bootstrap hop.
 """
 
 from __future__ import annotations
@@ -92,6 +105,8 @@ class ClusterClient:
         # the window is open against
         self._window_left = 0
         self._window_node: Optional[int] = None
+        #: per-request attempts that timed out against this client
+        self.timeouts = 0
 
     # ------------------------------------------------------------------
     # routing
@@ -120,7 +135,11 @@ class ClusterClient:
         if cached is None:
             self.cache.misses += 1
             return self.bootstrap_node(), "miss"
-        if cached == owner or cached in topology.replicas_of(slot):
+        # a replica row is a hit for a read but stale for a write: only
+        # the primary acknowledges writes, so the replica answers MOVED
+        good = cached == owner or (is_read and
+                                   cached in topology.replicas_of(slot))
+        if good:
             self.cache.hits += 1
             node = cached
             if is_read and self.replica_reads:
@@ -142,6 +161,15 @@ class ClusterClient:
         if self.cache is not None:
             self.cache.invalidate(slot)
             self.cache.learn(slot, owner)
+
+    def on_timeout(self, slot: int) -> None:
+        """A request against ``slot`` timed out: the contacted node is
+        dead or unreachable, so no MOVED reply will ever heal the row.
+        Drop it — the retry bootstraps and relearns from whichever node
+        answers (the timeout analogue of stale-dies-by-validation)."""
+        self.timeouts += 1
+        if self.cache is not None:
+            self.cache.invalidate(slot)
 
     def on_served(self, slot: int, node: int) -> None:
         """A successful serve confirms (or installs) the route.

@@ -29,6 +29,21 @@ Pipelined requests (``client_batch > 1``) skip the propagation delay
 on every batch follower — the batch head pays the RTT, the followers
 ride the same window and pay serialization only.
 
+Faults (DESIGN.md section 13) are *endpoint* state, matching the
+fleet's traffic shape (every message has a client on one side):
+
+* a **partitioned** endpoint drops every message touching it — the
+  transfer returns ``math.inf`` and reserves nothing, the drop is
+  counted per link;
+* a **degraded** endpoint multiplies propagation delay and divides
+  bandwidth for every message touching it (both endpoints degraded:
+  the worse factor wins) — the transfer still completes, counted per
+  link as degraded.
+
+Partitions and degradations apply on quiet networks too (a dropped
+message is dropped even when transfers are free), but the quiet
+network still reserves and counts nothing for delivered transfers.
+
 The model is deterministic by construction: no random jitter (the
 variance the tail sees comes from real queueing on links and cores,
 not injected noise), so a cluster timeline is a pure function of the
@@ -38,7 +53,8 @@ seed-derived request stream.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Tuple
+import math
+from typing import Dict, List, Set, Tuple
 
 from ..errors import ClusterError
 
@@ -67,16 +83,83 @@ class ClusterNetwork:
         self.bytes_per_cycle = float(bytes_per_cycle)
         #: directed link -> sorted (start, end) busy intervals
         self._busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        # -- fault state ----------------------------------------------
+        #: endpoints currently dropping every message
+        self._partitioned: Set[str] = set()
+        #: endpoint -> (latency multiplier, bandwidth divisor)
+        self._degraded: Dict[str, Tuple[float, float]] = {}
         # -- telemetry ------------------------------------------------
         self.transfers = 0
         self.bytes_moved = 0
         #: cycles transfers spent waiting for a busy link
         self.link_wait_cycles = 0.0
+        #: messages dropped at a partitioned endpoint
+        self.drops = 0
+        #: delivered transfers that crossed a degraded endpoint
+        self.degraded_transfers = 0
+        #: per-directed-link cumulative counters (reservations, bytes,
+        #: wait cycles, drops, degraded transfers), keyed "src->dst"
+        self._link_stats: Dict[str, Dict[str, float]] = {}
 
     @property
     def quiet(self) -> bool:
         """A zero-RTT network: transfers are free, links untracked."""
         return self.rtt_cycles == 0.0
+
+    # ------------------------------------------------------------------
+    # fault state
+    # ------------------------------------------------------------------
+
+    def partition(self, endpoint: str) -> None:
+        """Isolate ``endpoint``: every message touching it is dropped."""
+        self._partitioned.add(endpoint)
+
+    def heal(self, endpoint: str) -> None:
+        """Lift a partition (no-op if the endpoint was reachable)."""
+        self._partitioned.discard(endpoint)
+
+    def degrade(self, endpoint: str, latency_mult: float = 1.0,
+                bandwidth_div: float = 1.0) -> None:
+        """Degrade every message touching ``endpoint``: multiply its
+        propagation delay, divide its serialization bandwidth."""
+        if latency_mult < 1.0 or bandwidth_div < 1.0:
+            raise ClusterError(
+                "degrade factors must be >= 1 (use restore() to lift)")
+        self._degraded[endpoint] = (float(latency_mult),
+                                    float(bandwidth_div))
+
+    def restore(self, endpoint: str) -> None:
+        """Lift a degradation (no-op if the endpoint was healthy)."""
+        self._degraded.pop(endpoint, None)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a message from ``src`` to ``dst`` would deliver."""
+        return (src not in self._partitioned
+                and dst not in self._partitioned)
+
+    def _factors(self, src: str, dst: str) -> Tuple[float, float]:
+        """Combined (latency multiplier, bandwidth divisor): the worse
+        endpoint wins on each axis."""
+        lat, bw = 1.0, 1.0
+        for endpoint in (src, dst):
+            factors = self._degraded.get(endpoint)
+            if factors is not None:
+                lat = max(lat, factors[0])
+                bw = max(bw, factors[1])
+        return lat, bw
+
+    def _link(self, src: str, dst: str) -> Dict[str, float]:
+        key = f"{src}->{dst}"
+        stats = self._link_stats.get(key)
+        if stats is None:
+            stats = {"reservations": 0, "bytes": 0,
+                     "wait_cycles": 0.0, "drops": 0, "degraded": 0}
+            self._link_stats[key] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
 
     def _reserve(self, link: Tuple[str, str], at: float,
                  duration: float) -> float:
@@ -102,23 +185,38 @@ class ClusterNetwork:
                 propagate: bool = True) -> float:
         """Deliver ``nbytes`` from ``src`` to ``dst``, departing ``at``.
 
-        Returns the delivery time.  ``propagate=False`` models a
-        pipelined batch follower: it still occupies the link for its
-        serialization time but rides the batch head's propagation
-        window instead of paying its own RTT/2.
+        Returns the delivery time — ``math.inf`` when either endpoint
+        is partitioned (the message is dropped; nothing is reserved,
+        the caller's timeout machinery pays the price).
+        ``propagate=False`` models a pipelined batch follower: it still
+        occupies the link for its serialization time but rides the
+        batch head's propagation window instead of paying its own
+        RTT/2.
         """
+        if not self.reachable(src, dst):
+            self.drops += 1
+            self._link(src, dst)["drops"] += 1
+            return math.inf
         if self.quiet:
             return at
         if nbytes < 0:
             raise ClusterError("cannot transfer a negative byte count")
-        serialization = nbytes / self.bytes_per_cycle
+        lat_mult, bw_div = self._factors(src, dst)
+        serialization = nbytes * bw_div / self.bytes_per_cycle
         start = self._reserve((src, dst), at, serialization)
         self.transfers += 1
         self.bytes_moved += nbytes
         self.link_wait_cycles += start - at
+        stats = self._link(src, dst)
+        stats["reservations"] += 1
+        stats["bytes"] += nbytes
+        stats["wait_cycles"] += start - at
+        if lat_mult > 1.0 or bw_div > 1.0:
+            self.degraded_transfers += 1
+            stats["degraded"] += 1
         delivery = start + serialization
         if propagate:
-            delivery += self.rtt_cycles / 2.0
+            delivery += self.rtt_cycles * lat_mult / 2.0
         return delivery
 
     def round_trip(self, a: str, b: str, request_bytes: int,
@@ -126,6 +224,8 @@ class ClusterNetwork:
                    propagate: bool = True) -> float:
         """A request/response exchange; returns the response delivery."""
         arrive = self.one_way(a, b, request_bytes, at, propagate)
+        if math.isinf(arrive):
+            return arrive
         return self.one_way(b, a, response_bytes, arrive, propagate)
 
     def report(self) -> dict:
@@ -135,4 +235,8 @@ class ClusterNetwork:
             "transfers": self.transfers,
             "bytes_moved": self.bytes_moved,
             "link_wait_cycles": self.link_wait_cycles,
+            "drops": self.drops,
+            "degraded_transfers": self.degraded_transfers,
+            "links": {key: dict(stats) for key, stats
+                      in sorted(self._link_stats.items())},
         }

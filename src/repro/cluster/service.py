@@ -1,6 +1,6 @@
 """The cluster event loop and its result record.
 
-The pipeline (``repro cluster``, the ``scale`` sweep):
+The pipeline (``repro cluster``, the ``scale``/``failover`` sweeps):
 
 1. every node runs the *full* single-node simulator — a
    :class:`~repro.sim.engine.Engine` under the multi-core interleave
@@ -11,43 +11,68 @@ The pipeline (``repro cluster``, the ``scale`` sweep):
    function of one seed);
 2. an open-loop arrival process stamps cluster-wide request times at
    ``offered_load x`` the fleet's *aggregate* closed-loop capacity;
-3. each request hashes to a slot, a client resolves the slot through
-   its route cache (hit / stale / miss — MOVED redirects on stale or
-   unlucky bootstrap routes, ASK redirects through live migration
-   windows), pays the network model for every hop, and is served FIFO
-   by a core of the owning node, charged that node's next captured
-   service time;
+3. each request hashes to a slot, draws read-or-write off a dedicated
+   stream (:data:`WRITE_FRACTION`), and a client resolves the slot
+   through its route cache (hit / stale / miss — MOVED redirects on
+   stale or unlucky bootstrap routes, ASK redirects through live
+   migration windows; writes are only acknowledged by the primary),
+   pays the network model for every hop, and is served FIFO by a core
+   of the owning node, charged that node's next captured service time;
 4. end-to-end latency (network + queueing + service) is recorded in
    the *serving node's* log-bucketed histogram; the per-node
    histograms merge into the fleet-wide distribution at the end —
    the same mergeable-histogram machinery :mod:`repro.svc` uses.
 
-A routing oracle cross-checks every serve: the node that executed a
-request must authoritatively hold the key's slot at serve time (the
-primary, a replica for reads, or the importing node during an ASK
-window).  A violation raises :class:`~repro.errors.ClusterError` at
-the end of the run — stale routes may cost redirects, never
-correctness, mirroring the node-level stale-translation oracle.
+Under a ``node_fault_plan`` (DESIGN.md section 13) the loop threads a
+:class:`~repro.cluster.failover.FailoverScheduler` through the same
+per-request cadence as migration: crashed/partitioned nodes drop
+messages, clients survive on per-attempt timeouts with bounded
+exponential-backoff retries and (optionally) cross-node hedged reads
+against replicas — the :class:`~repro.svc.service.Mitigation`
+vocabulary one level up — and the failure detector promotes replicas
+after ``failover_detect_cycles``.  Route-cache rows pointing at a dead
+primary die by timeout instead of by MOVED (the client invalidates and
+re-bootstraps); with ``repair_policy="eager"`` every committed
+ownership change is instead broadcast into all client caches
+immediately — the measurable lazy-vs-eager A/B.
+
+Two oracles cross-check every run:
+
+* the **routing oracle** (PR 5): the node that executed a request must
+  authoritatively hold the key's slot at serve time (primary, replica
+  for reads, importing node during an ASK window).  A violation raises
+  :class:`~repro.errors.ClusterError`.
+* the **failover oracle**: every acknowledged write must survive — be
+  readable from the slot's authoritative read set — at the end of the
+  run whenever a live replica existed at ack time.  A stranded live
+  copy raises :class:`~repro.errors.FailoverError`; unavoidable losses
+  (``replicas=0``, or every holder of a key crashed before
+  re-replication) are reported as ``acked_write_losses`` telemetry
+  with the loss window, never silently.
 """
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import ClusterError, ReproError
+from ..errors import ClusterError, FailoverError, ReproError
 from ..params import derive_seed
 from ..svc.arrival import make_arrivals
 from ..svc.histogram import DEFAULT_PRECISION, LatencyHistogram
+from ..svc.service import Mitigation
 from ..workloads.distributions import make_chooser
 from ..workloads.keys import key_bytes
 from .client import ClusterClient
+from .failover import FailoverScheduler, parse_node_fault
 from .migration import MigrationScheduler
 from .network import REQUEST_HEADER_BYTES, ClusterNetwork
 from .topology import ClusterTopology, slot_for_key
 
-__all__ = ["ClusterResult", "REDIRECT_CYCLES", "run_cluster",
-           "simulate_cluster"]
+__all__ = ["ClusterResult", "REDIRECT_CYCLES", "WRITE_FRACTION",
+           "DEFAULT_CLUSTER_TIMEOUT", "run_cluster", "simulate_cluster"]
 
 #: cycles a wrong-node consults its slot table before answering a
 #: MOVED/ASK redirect (a hash-map probe plus a small reply, far below
@@ -56,6 +81,18 @@ REDIRECT_CYCLES = 40
 
 #: bytes of a MOVED/ASK reply (error line with slot and address)
 REDIRECT_BYTES = 48
+
+#: fraction of cluster requests that are writes (YCSB-B's read-heavy
+#: mix).  Writes ride the same routing but only the primary may ack
+#: them, and each ack replicates to the slot's current replica set —
+#: the state the failover oracle audits
+WRITE_FRACTION = 0.1
+
+#: default per-attempt timeout under a fault plan, as a multiple of
+#: (mean service time + RTT): generous enough that healthy queueing
+#: almost never trips it, small enough that a handful of retries spans
+#: the failure-detection window
+DEFAULT_CLUSTER_TIMEOUT = 8.0
 
 
 @dataclass
@@ -108,6 +145,28 @@ class ClusterResult:
     #: must be zero (the run raises otherwise); stored so a violation
     #: found post-hoc in an archived record stays visible
     oracle_violations: int = 0
+    #: write requests attempted / acknowledged (acked < attempted when
+    #: writes fail against a dead primary)
+    writes: int = 0
+    acked_writes: int = 0
+    #: acked writes whose loss was unavoidable: no replica existed at
+    #: ack time, or every holder crashed before re-replication.  Loud
+    #: telemetry, never an exception
+    acked_write_losses: int = 0
+    #: acked writes stranded on a *live* node outside the slot's
+    #: authoritative read set — the run raises FailoverError on any
+    failover_violations: int = 0
+    #: requests that exhausted every retry attempt (their give-up
+    #: latency still counts in the merged histogram)
+    failed_requests: int = 0
+    #: route-cache rows fixed by the eager-repair broadcast
+    eager_repairs: int = 0
+    #: client-resilience telemetry (Mitigation knobs + timeout/hedge
+    #: counters); None when neither timeouts nor hedging are armed
+    resilience: Optional[dict] = None
+    #: failover telemetry (:meth:`FailoverScheduler.report` + repair
+    #: policy, lost reads, loss window); None without a fault plan
+    failover: Optional[dict] = None
 
     @property
     def p50(self) -> float:
@@ -196,6 +255,16 @@ class _NodeServer:
         return completion
 
 
+class _AckedWrite:
+    """Latest acknowledged value of one key: who holds a copy."""
+
+    __slots__ = ("holders", "had_replica")
+
+    def __init__(self, holders: Set[int]) -> None:
+        self.holders = holders
+        self.had_replica = len(holders) > 1
+
+
 def simulate_cluster(
     config,
     node_capacities: Sequence[float],
@@ -208,8 +277,9 @@ def simulate_cluster(
     ``node_capacities[i]`` is node ``i``'s closed-loop throughput
     (ops/cycle); ``node_op_cycles[i][c]`` is the captured per-op
     service sequence of core ``c`` on node ``i``.  Everything else —
-    arrivals, key stream, client choices, migration schedule — derives
-    from ``config.seed`` through namespaced streams.
+    arrivals, key stream, read/write mix, client choices, migration
+    and fault schedules — derives from ``config.seed`` through
+    namespaced streams.
     """
     nodes = config.nodes
     if len(node_capacities) != nodes or len(node_op_cycles) != nodes:
@@ -247,6 +317,10 @@ def simulate_cluster(
                            seed=derive_seed(config.seed,
                                             "cluster_keystream"))
     key_ids = [chooser.choose() for _ in range(count)]
+    # the read/write mix rides its own stream so enabling faults or
+    # changing any payload policy never shifts which requests write
+    rw_rng = random.Random(derive_seed(config.seed, "cluster_rw"))
+    write_flags = [rw_rng.random() < WRITE_FRACTION for _ in range(count)]
     slot_of: Dict[int, int] = {}
 
     def slot_for(key_id: int) -> int:
@@ -264,29 +338,218 @@ def simulate_cluster(
         topology, config.migrate_rate, config.seed,
         slot_source=lambda rng: slot_for(rng.randrange(config.num_keys)))
 
+    # -- failover machinery -------------------------------------------
+    plan = tuple(parse_node_fault(s) for s in config.node_fault_plan)
+    failover: Optional[FailoverScheduler] = None
+    if plan:
+        failover = FailoverScheduler(
+            topology, network, plan, config.seed, count,
+            detect_cycles=config.failover_detect_cycles)
+
+    # per-attempt client resilience, the svc Mitigation vocabulary one
+    # level up.  Budgets are multiples of one healthy exchange (mean
+    # service time + RTT); under a fault plan timeouts default on so a
+    # crashed primary costs bounded waits, not a hung run
+    all_cycles = [c for node_seq in node_op_cycles
+                  for core_seq in node_seq for c in core_seq]
+    base_cycles = max(
+        sum(all_cycles) / len(all_cycles) + config.net_rtt_cycles, 1.0)
+    timeout_mult = config.cluster_timeout
+    if timeout_mult is None and plan:
+        timeout_mult = DEFAULT_CLUSTER_TIMEOUT
+    mitigation = Mitigation(
+        timeout_cycles=(timeout_mult * base_cycles
+                        if timeout_mult is not None else None),
+        retries=config.cluster_retries,
+        backoff=config.svc_backoff,
+        hedge_cycles=(config.cluster_hedge * base_cycles
+                      if config.cluster_hedge is not None else None),
+    )
+    timeout_cycles = mitigation.timeout_cycles
+    hedge_cycles = mitigation.hedge_cycles
+    attempts = 1 + mitigation.retries if timeout_cycles is not None else 1
+
+    # -- the failover oracle's data bookkeeping -----------------------
+    # key -> latest acked write (who holds a copy); slot -> acked keys
+    acked: Dict[int, _AckedWrite] = {}
+    slot_keys: Dict[int, Set[int]] = {}
+    eager = config.repair_policy == "eager"
+    current_index = [0]
+    counters = {"eager_repairs": 0, "lost_reads": 0, "loss_events": 0,
+                "hedges": 0, "hedge_wins": 0, "post_promotion_moved": 0}
+    loss_window: List[int] = []
+
+    def _mark_loss(keys_lost: int) -> None:
+        if keys_lost <= 0:
+            return
+        counters["loss_events"] += keys_lost
+        index = current_index[0]
+        if not loss_window:
+            loss_window.extend((index, index))
+        else:
+            loss_window[1] = index
+
+    def _can_sync_from(node: int) -> bool:
+        # a graceful handover ships the slot's data with it — possible
+        # only while the previous owner is alive and reachable
+        if failover is None:
+            return True
+        return (node not in failover.crashed
+                and node not in failover.isolated)
+
+    def _owner_changed(slot: int, old: int, new: int) -> None:
+        # data: re-replicate the slot's acked keys onto the new regime
+        # when the data can actually get there (the heir already holds
+        # a copy, or the old owner can ship it)
+        keys = slot_keys.get(slot)
+        if keys:
+            read_set = set(topology.read_set(slot))
+            for key in keys:
+                holders = acked[key].holders
+                if not holders:
+                    continue
+                if new in holders or (old in holders
+                                      and _can_sync_from(old)):
+                    holders.clear()
+                    holders.update(read_set)
+        # routes: the eager-repair broadcast pushes the new owner into
+        # every client cache — fixing stale rows *and* installing rows
+        # where timeouts already scrubbed one (the shootdown-style
+        # alternative the lazy MOVED path avoids, paid here in repair
+        # traffic instead of redirects)
+        if eager:
+            for client in clients:
+                cache = client.cache
+                if cache is None:
+                    continue
+                if cache.lookup(slot) != new:
+                    cache.invalidate(slot)
+                    cache.learn(slot, new)
+                    counters["eager_repairs"] += 1
+
+    topology.on_owner_change = _owner_changed
+
+    if failover is not None:
+        def _node_crashed(node: int) -> None:
+            # the process died: every copy it held is gone; keys whose
+            # last copy just vanished are lost (telemetry + window)
+            lost = 0
+            for rec in acked.values():
+                if node in rec.holders:
+                    rec.holders.discard(node)
+                    if not rec.holders:
+                        lost += 1
+            _mark_loss(lost)
+
+        def _promotion(node: int, slots: List[int]) -> None:
+            # slots whose new owner has no copy serve fenced/empty data
+            # from here on: the loss becomes visible now
+            fenced = 0
+            for slot in slots:
+                owner = topology.owner(slot)
+                for key in slot_keys.get(slot, ()):
+                    holders = acked[key].holders
+                    if holders and owner not in holders:
+                        fenced += 1
+            _mark_loss(fenced)
+
+        def _membership_changed() -> None:
+            # ring membership moved: replica sets of slots whose owner
+            # stayed put may have changed — the replication daemon
+            # re-syncs every key whose primary still holds a copy
+            for slot, keys in slot_keys.items():
+                read_set: Optional[Set[int]] = None
+                owner = topology.owner(slot)
+                for key in keys:
+                    holders = acked[key].holders
+                    if owner in holders:
+                        if read_set is None:
+                            read_set = set(topology.read_set(slot))
+                        holders.clear()
+                        holders.update(read_set)
+
+        failover.on_crash = _node_crashed
+        failover.on_promotion = _promotion
+        failover.on_membership_change = _membership_changed
+
     # -- the event loop -----------------------------------------------
     moved_redirects = 0
     oracle_violations = 0
+    failed_requests = 0
+    writes = 0
+    acked_writes = 0
     last_delivery = 0.0
     total_latency = 0.0
     value_bytes = REQUEST_HEADER_BYTES + config.value_size
+    failed_hist = LatencyHistogram(precision=precision)
 
-    for index, (arrival, key_id) in enumerate(zip(arrivals, key_ids)):
-        migration.before_request(index)
-        slot = slot_for(key_id)
-        client = clients[index % len(clients)]
+    def _read_hedge(client: ClusterClient, slot: int, at: float,
+                    req_bytes: int, resp_bytes: int,
+                    exclude: int) -> Optional[Tuple[float, int]]:
+        """Hedge a read against the first reachable replica (ring
+        order); both copies consume resources, first completion wins at
+        the caller.  Returns (delivery, node) or None."""
+        for node in topology.replicas_of(slot):
+            if node == exclude:
+                continue
+            server = servers[node]
+            if not network.reachable(client.name, server.name):
+                continue
+            t = network.one_way(client.name, server.name, req_bytes,
+                                at)
+            if math.isinf(t):
+                continue
+            completion = server.serve(t)
+            delivery = network.one_way(server.name, client.name,
+                                       resp_bytes, completion)
+            if not math.isinf(delivery):
+                counters["hedges"] += 1
+                return delivery, node
+        return None
 
-        target, _kind = client.target_for(slot, topology, is_read=True)
+    def _attempt(client: ClusterClient, slot: int, start: float,
+                 is_write: bool, use_cache: bool, req_bytes: int,
+                 resp_bytes: int
+                 ) -> Optional[Tuple[float, int, bool, bool]]:
+        """One request attempt from ``start``.  Returns (delivery,
+        serve_node, served_via_ask, hedged) or None if every path
+        timed out against unreachable nodes."""
+        nonlocal moved_redirects, oracle_violations
+        if use_cache:
+            target, _kind = client.target_for(slot, topology,
+                                              is_read=not is_write)
+        else:
+            # a retry after a timeout: the stale row is gone, ask any
+            # node and let MOVED point at the promoted owner
+            target = client.bootstrap_node()
         head = client.begin_request(target)
         t = network.one_way(client.name, servers[target].name,
-                            REQUEST_HEADER_BYTES, arrival,
-                            propagate=head)
+                            req_bytes, start, propagate=head)
+        if math.isinf(t):
+            if hedge_cycles is not None and not is_write:
+                alt = _read_hedge(client, slot, start + hedge_cycles,
+                                  req_bytes, resp_bytes, target)
+                if alt is not None:
+                    counters["hedge_wins"] += 1
+                    return alt[0], alt[1], False, True
+            return None
 
-        # MOVED: the contacted node has no authority over the slot —
-        # it answers with the owner's address and the client retries
+        # MOVED: the contacted node has no authority over the request —
+        # reads may land on the primary or any replica, writes only on
+        # the primary — it answers with the owner's address, the
+        # client retries there
         serve_node = target
-        if target not in topology.read_set(slot):
+        authority = ((topology.owner(slot),) if is_write
+                     else topology.read_set(slot))
+        if target not in authority:
             moved_redirects += 1
+            if failover is not None and failover.promotions \
+                    and topology.epoch(slot) > 0:
+                # the lazy-vs-eager A/B's numerator: redirects spent
+                # re-learning slots a promotion (or later churn) has
+                # actually rewired — eager's broadcast pre-heals
+                # exactly these, lazy pays one MOVED per re-touch
+                counters["post_promotion_moved"] += 1
             t += REDIRECT_CYCLES
             t = network.one_way(servers[target].name, client.name,
                                 REDIRECT_BYTES, t)
@@ -295,7 +558,17 @@ def simulate_cluster(
             serve_node = owner
             head = True  # a redirected request restarts its window
             t = network.one_way(client.name, servers[serve_node].name,
-                                REQUEST_HEADER_BYTES, t)
+                                req_bytes, t)
+            if math.isinf(t):
+                # MOVED pointed into the detection window's corpse
+                if hedge_cycles is not None and not is_write:
+                    alt = _read_hedge(client, slot,
+                                      start + hedge_cycles, req_bytes,
+                                      resp_bytes, serve_node)
+                    if alt is not None:
+                        counters["hedge_wins"] += 1
+                        return alt[0], alt[1], False, True
+                return None
 
         # ASK: the slot is mid-migration and this is its old primary —
         # one-shot forward to the importing node, nothing cached
@@ -306,12 +579,15 @@ def simulate_cluster(
             t = network.one_way(servers[serve_node].name, client.name,
                                 REDIRECT_BYTES, t)
             t = network.one_way(client.name, servers[ask].name,
-                                REQUEST_HEADER_BYTES, t)
+                                req_bytes, t)
+            if math.isinf(t):
+                return None
             serve_node = ask
             served_via_ask = True
 
         # -- the routing oracle ---------------------------------------
-        legal = set(topology.read_set(slot))
+        legal = ({topology.owner(slot)} if is_write
+                 else set(topology.read_set(slot)))
         if served_via_ask:
             importing = migration.importing_node(slot)
             if importing is not None:
@@ -322,10 +598,85 @@ def simulate_cluster(
         server = servers[serve_node]
         completion = server.serve(t)
         delivery = network.one_way(server.name, client.name,
-                                   value_bytes, completion,
+                                   resp_bytes, completion,
                                    propagate=head)
-        if not served_via_ask:
+        hedged = False
+        if hedge_cycles is not None and not is_write \
+                and delivery - start > hedge_cycles:
+            # the straggler hedge: a second copy fires after the hedge
+            # delay; both consume resources, first completion wins
+            alt = _read_hedge(client, slot, start + hedge_cycles,
+                              req_bytes, resp_bytes, serve_node)
+            if alt is not None and alt[0] < delivery:
+                counters["hedge_wins"] += 1
+                delivery, serve_node = alt
+                hedged = True
+        return delivery, serve_node, served_via_ask, hedged
+
+    for index, (arrival, key_id) in enumerate(zip(arrivals, key_ids)):
+        current_index[0] = index
+        if failover is not None:
+            failover.before_request(index, arrival)
+        migration.before_request(index)
+        slot = slot_for(key_id)
+        client = clients[index % len(clients)]
+        is_write = write_flags[index]
+        if is_write:
+            writes += 1
+        # a write carries the value up; a read carries it back
+        req_bytes = value_bytes if is_write else REQUEST_HEADER_BYTES
+        resp_bytes = REQUEST_HEADER_BYTES if is_write else value_bytes
+
+        attempt_start = arrival
+        outcome = None
+        for attempt in range(attempts):
+            outcome = _attempt(client, slot, attempt_start, is_write,
+                               attempt == 0, req_bytes, resp_bytes)
+            if outcome is not None:
+                break
+            # the attempt died against an unreachable node: the client
+            # waits out its budget, drops the dead row and retries
+            # through a bootstrap node with exponential backoff
+            client.on_timeout(slot)
+            if timeout_cycles is None:
+                break  # unreachable without timeouts: fail fast
+            attempt_start += timeout_cycles \
+                * (mitigation.backoff ** attempt)
+
+        if outcome is None:
+            # out of attempts: the request fails; the time burned
+            # waiting still counts against the tail and the makespan
+            failed_requests += 1
+            latency = max(attempt_start - arrival, 0.0)
+            failed_hist.record(latency)
+            total_latency += latency
+            if attempt_start > last_delivery:
+                last_delivery = attempt_start
+            continue
+
+        delivery, serve_node, served_via_ask, hedged = outcome
+        server = servers[serve_node]
+        if not served_via_ask and not hedged:
             client.on_served(slot, serve_node)
+
+        if is_write:
+            # the primary acks and synchronously replicates to the
+            # slot's current replica set — the copies the oracle audits
+            holders = {serve_node} | set(topology.replicas_of(slot))
+            record = acked.get(key_id)
+            if record is None:
+                acked[key_id] = _AckedWrite(holders)
+                slot_keys.setdefault(slot, set()).add(key_id)
+            else:
+                record.holders = holders
+                record.had_replica = len(holders) > 1
+            acked_writes += 1
+        else:
+            record = acked.get(key_id)
+            if record is not None and serve_node not in record.holders:
+                # a legal route served a key whose latest acked value
+                # it does not hold — reading inside a data-loss window
+                counters["lost_reads"] += 1
 
         latency = delivery - arrival
         server.histogram.record(latency)
@@ -335,6 +686,25 @@ def simulate_cluster(
             last_delivery = delivery
 
     migration.drain(count)
+    if failover is not None:
+        failover.drain(last_delivery)
+
+    # -- the failover oracle's verdict --------------------------------
+    failover_violations = 0
+    acked_write_losses = 0
+    for key_id, record in acked.items():
+        legal = set(topology.read_set(slot_of[key_id]))
+        if record.holders & legal:
+            continue
+        if record.had_replica and record.holders:
+            # a live node still holds the value but the authoritative
+            # read set forgot it: promotion landed on a non-holder
+            # while a holder survived — a real failover bug
+            failover_violations += 1
+        else:
+            # unavoidable: no replica existed at ack time, or every
+            # holder crashed before re-replication could complete
+            acked_write_losses += 1
 
     # -- fold ----------------------------------------------------------
     merged = LatencyHistogram(precision=precision)
@@ -350,9 +720,10 @@ def simulate_cluster(
             "mean_latency": (server.latency_sum / server.served
                              if server.served else 0.0),
         })
+    merged.merge(failed_hist)
     if merged.count != count:
         raise ClusterError(
-            f"lost requests: served {merged.count} of {count}")
+            f"lost requests: accounted {merged.count} of {count}")
 
     route_hits = sum(c.cache.hits for c in clients if c.cache)
     route_stale = sum(c.cache.stale_hits for c in clients if c.cache)
@@ -360,6 +731,26 @@ def simulate_cluster(
     if not config.route_cache:
         # cache-less clients classify every resolution as a miss
         route_misses = count
+
+    resilience = None
+    if mitigation.enabled:
+        resilience = {
+            **mitigation.to_dict(),
+            "timeouts": sum(c.timeouts for c in clients),
+            "hedges": counters["hedges"],
+            "hedge_wins": counters["hedge_wins"],
+        }
+    failover_report = None
+    if failover is not None:
+        failover_report = {
+            **failover.report(),
+            "repair_policy": config.repair_policy,
+            "write_fraction": WRITE_FRACTION,
+            "post_promotion_moved": counters["post_promotion_moved"],
+            "lost_reads": counters["lost_reads"],
+            "loss_events": counters["loss_events"],
+            "loss_window": list(loss_window) if loss_window else None,
+        }
 
     result = ClusterResult(
         nodes=nodes,
@@ -389,11 +780,24 @@ def simulate_cluster(
         migration=migration.report(),
         network=network.report(),
         oracle_violations=oracle_violations,
+        writes=writes,
+        acked_writes=acked_writes,
+        acked_write_losses=acked_write_losses,
+        failover_violations=failover_violations,
+        failed_requests=failed_requests,
+        eager_repairs=counters["eager_repairs"],
+        resilience=resilience,
+        failover=failover_report,
     )
     if oracle_violations:
         raise ClusterError(
             f"cluster routing oracle: {oracle_violations} request(s) "
             f"served by a node without authority over the slot")
+    if failover_violations:
+        raise FailoverError(
+            f"failover oracle: {failover_violations} acknowledged "
+            f"write(s) with a live replica at ack time did not survive "
+            f"to the end of the run")
     return result
 
 
@@ -413,18 +817,25 @@ def _node_config(config, node: int):
     """
     seed = config.seed if node == 0 else \
         derive_seed(config.seed, f"node{node}")
+    defaults = type(config)()
     return replace(
         config,
         nodes=1,
         replicas=0,
         route_cache=True,
         client_batch=1,
-        cluster_clients=type(config)().cluster_clients,
+        cluster_clients=defaults.cluster_clients,
         replica_reads=False,
         migrate_rate=0.0,
         net_rtt_cycles=0.0,
         arrival_process="closed",
         service_requests=None,
+        node_fault_plan=(),
+        failover_detect_cycles=defaults.failover_detect_cycles,
+        repair_policy=defaults.repair_policy,
+        cluster_timeout=None,
+        cluster_retries=defaults.cluster_retries,
+        cluster_hedge=None,
         seed=seed,
     )
 

@@ -21,11 +21,30 @@ Both invariants, plus the ±1 balance bound, are property-tested with
 Hypothesis over arbitrary join/leave sequences.  All tie-breaks are
 deterministic (lowest node id, lowest slot index), so a topology is a
 pure function of its construction sequence.
+
+Failures (DESIGN.md section 13) reuse the same minimal-remap core:
+
+* :meth:`crash_node` takes a node down *ungracefully*.  With replicas,
+  each orphaned slot is promoted to a surviving member of its replica
+  set — the ring successor when one replica is configured — so
+  ownership follows the data and no acknowledged write is stranded;
+  without replicas the orphans redistribute exactly like
+  :meth:`remove_node` (the ±1 bound holds, the data does not — the
+  service layer reports the loss, never silently).
+* :meth:`restart_node` rejoins a crashed node (empty, resynced) by
+  stealing an equal share like :meth:`add_node`.
+
+Every ownership change — join, leave, migration commit, promotion —
+bumps the slot's **epoch** (:attr:`slot_epoch`), the fencing token that
+makes a demoted primary's authority stale by version rather than by
+decree, and notifies the optional :attr:`on_owner_change` observer (the
+service layer hangs the failover oracle's data bookkeeping and the
+eager-repair broadcast off it).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ClusterError
 from ..hashes.registry import get_hash
@@ -70,6 +89,17 @@ class ClusterTopology:
             for slot in range(lo, hi):
                 self.slot_owner[slot] = i
         self._next_id = num_nodes
+        #: per-slot ownership generation: bumped on every owner change
+        #: (join steal, leave redistribution, migration commit, crash
+        #: promotion) — the fencing token a demoted primary fails by
+        self.slot_epoch: List[int] = [0] * num_slots
+        #: crashed node ids eligible for :meth:`restart_node`
+        self.down_nodes: Set[int] = set()
+        #: observer called after every committed owner change as
+        #: ``on_owner_change(slot, old_owner, new_owner)``; the ring
+        #: already reflects the new membership when it fires
+        self.on_owner_change: Optional[Callable[[int, int, int], None]] \
+            = None
 
     # ------------------------------------------------------------------
     # queries
@@ -83,16 +113,28 @@ class ClusterTopology:
         """The primary node of ``slot``."""
         return self.slot_owner[slot]
 
+    def epoch(self, slot: int) -> int:
+        """The ownership generation of ``slot``."""
+        return self.slot_epoch[slot]
+
+    @property
+    def max_epoch(self) -> int:
+        """The highest slot epoch (how churned the config ever got)."""
+        return max(self.slot_epoch)
+
     def replicas_of(self, slot: int) -> Tuple[int, ...]:
         """The replica nodes of ``slot``: the ring successors of its
-        primary, in ring order (empty for a replica-less cluster)."""
+        primary, in ring order (empty for a replica-less cluster).
+        After crashes have shrunk the ring below ``replicas + 1``
+        members the surviving successors are returned (never the
+        primary itself, never a duplicate)."""
         if not self.replicas:
             return ()
         ring = self.node_ids
         start = ring.index(self.slot_owner[slot])
         n = len(ring)
         return tuple(ring[(start + k) % n]
-                     for k in range(1, self.replicas + 1))
+                     for k in range(1, min(self.replicas, n - 1) + 1))
 
     def read_set(self, slot: int) -> Tuple[int, ...]:
         """Every node a read of ``slot`` may legally be served from."""
@@ -111,6 +153,18 @@ class ClusterTopology:
         return counts
 
     # ------------------------------------------------------------------
+    # the single write path for ownership
+    # ------------------------------------------------------------------
+
+    def _assign(self, slot: int, node: int) -> None:
+        """Commit one owner change: bump the epoch, fire the observer."""
+        old = self.slot_owner[slot]
+        self.slot_owner[slot] = node
+        self.slot_epoch[slot] += 1
+        if self.on_owner_change is not None:
+            self.on_owner_change(slot, old, node)
+
+    # ------------------------------------------------------------------
     # membership (minimal remap)
     # ------------------------------------------------------------------
 
@@ -124,20 +178,29 @@ class ClusterTopology:
         """
         new_id = self._next_id
         self._next_id += 1
+        self._join(new_id)
+        return new_id
+
+    def _join(self, new_id: int) -> List[int]:
+        """Shared join core of :meth:`add_node`/:meth:`restart_node`."""
         donors = list(self.node_ids)
         counts = self.counts()
         owned: Dict[int, List[int]] = {node: [] for node in donors}
         for slot, owner in enumerate(self.slot_owner):
             owned[owner].append(slot)  # ascending by construction
         share = self.num_slots // (self.num_nodes + 1)
+        # the joiner enters the ring before slots transfer, so the
+        # observer sees replica sets computed over the new membership
+        self.node_ids.append(new_id)
+        self.node_ids.sort()
+        stolen: List[int] = []
         for _ in range(share):
             donor = max(donors, key=lambda n: (counts[n], -n))
             slot = owned[donor].pop()  # the donor's highest slot
             counts[donor] -= 1
-            self.slot_owner[slot] = new_id
-        self.node_ids.append(new_id)
-        self.node_ids.sort()
-        return new_id
+            self._assign(slot, new_id)
+            stolen.append(slot)
+        return stolen
 
     def remove_node(self, node: int) -> List[int]:
         """Leave: redistribute exactly the leaver's slots.
@@ -162,9 +225,67 @@ class ClusterTopology:
         self.node_ids.remove(node)
         for slot in orphans:
             heir = min(self.node_ids, key=lambda n: (counts[n], n))
-            self.slot_owner[slot] = heir
+            self._assign(slot, heir)
             counts[heir] += 1
         return orphans
+
+    # ------------------------------------------------------------------
+    # failures (promotion + rejoin)
+    # ------------------------------------------------------------------
+
+    def crash_node(self, node: int) -> List[int]:
+        """Take ``node`` down ungracefully; returns its orphaned slots.
+
+        With replicas, every orphaned slot is **promoted** onto a
+        surviving member of its pre-crash replica set — for one replica
+        that is exactly the ring successor; with more, the least-loaded
+        holder (tie: lowest id) — so ownership follows the data.  If an
+        overlapping failure killed every replica of a slot too, the
+        slot falls back to the least-loaded survivor (the data is gone;
+        the failover oracle accounts for it).  Replica-less clusters
+        redistribute like :meth:`remove_node`, preserving the ±1
+        balance bound.  The crashed node stays known to the topology
+        and may :meth:`restart_node` later.
+        """
+        if node not in self.node_ids:
+            raise ClusterError(f"node {node} is not in the cluster")
+        if self.num_nodes == 1:
+            raise ClusterError("cannot crash the last node")
+        orphans = [s for s, owner in enumerate(self.slot_owner)
+                   if owner == node]
+        # replica sets are successors of the *dead* primary: compute
+        # them before the ring shrinks
+        heirs_of: Dict[int, Tuple[int, ...]] = \
+            {slot: self.replicas_of(slot) for slot in orphans} \
+            if self.replicas else {}
+        counts = self.counts()
+        counts.pop(node, None)
+        self.node_ids.remove(node)
+        self.down_nodes.add(node)
+        for slot in orphans:
+            candidates = [n for n in heirs_of.get(slot, ())
+                          if n in counts]
+            pool = candidates or self.node_ids
+            heir = min(pool, key=lambda n: (counts[n], n))
+            self._assign(slot, heir)
+            counts[heir] += 1
+        return orphans
+
+    def restart_node(self, node: int) -> List[int]:
+        """Rejoin a crashed node (empty, resyncing on the way in).
+
+        The node re-enters the ring under its old id and steals an
+        equal share exactly like :meth:`add_node` — each stolen slot's
+        data syncs from its (live) previous owner, so a restart is a
+        graceful transfer, not a promotion.  Returns the stolen slots.
+        """
+        if node in self.node_ids:
+            raise ClusterError(f"node {node} is already in the cluster")
+        if node not in self.down_nodes:
+            raise ClusterError(
+                f"node {node} never crashed; nothing to restart")
+        self.down_nodes.discard(node)
+        return self._join(node)
 
     # ------------------------------------------------------------------
     # migration primitive
@@ -183,7 +304,7 @@ class ClusterTopology:
         if dst not in self.node_ids:
             raise ClusterError(f"node {dst} is not in the cluster")
         prev = self.slot_owner[slot]
-        self.slot_owner[slot] = dst
+        self._assign(slot, dst)
         return prev
 
     # ------------------------------------------------------------------

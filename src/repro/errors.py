@@ -73,3 +73,18 @@ class ClusterError(ReproError):
     :class:`CoherenceError`: a stale route must cost a redirect, never
     a wrong answer).
     """
+
+
+class FailoverError(ClusterError):
+    """The failover oracle caught an acknowledged write that was lost.
+
+    Raised at the end of a cluster run when a write that was
+    acknowledged while a live replica existed is no longer readable
+    from any node in the slot's authoritative read set — a promotion
+    that landed on a non-holder, a forgotten replica, or a repair
+    policy that dropped the only surviving copy.  Replica-less runs
+    (``replicas=0``) and total-loss events (every holder of a key
+    crashed before re-replication could complete) are *reported* as
+    data-loss telemetry instead: no model could have saved those
+    writes, so they are loud numbers, not bugs.
+    """

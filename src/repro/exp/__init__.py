@@ -32,6 +32,7 @@ from .reporting import (
     accel_table,
     churn_table,
     cluster_table,
+    failover_table,
     latency_table,
     max_rate_under_slo,
     metrics_from_record,
@@ -76,6 +77,7 @@ __all__ = [
     "builtin_sweeps",
     "churn_table",
     "cluster_table",
+    "failover_table",
     "get_sweep",
     "latency_table",
     "make_record",

@@ -18,11 +18,12 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from ..sim.results import RunResult, format_table
+from ..svc.histogram import LatencyHistogram
 
 __all__ = ["metrics_from_record", "summary_table", "speedup_table",
            "scaling_table", "latency_table", "max_rate_under_slo",
            "churn_table", "cluster_table", "accel_table",
-           "sweep_summary"]
+           "failover_table", "sweep_summary"]
 
 
 def metrics_from_record(record: dict) -> dict:
@@ -93,6 +94,19 @@ def metrics_from_record(record: dict) -> dict:
         "migrations_committed": _cluster_field(result, "migration",
                                                "committed"),
         "route_violations": _cluster_field(result, "oracle_violations"),
+        # failover overlay (PR 9): None for single-node runs; zero for
+        # fault-free cluster runs, so the dict shape stays uniform
+        "cluster_writes": _cluster_field(result, "writes"),
+        "acked_writes": _cluster_field(result, "acked_writes"),
+        "acked_write_losses": _cluster_field(result, "acked_write_losses"),
+        "failover_violations": _cluster_field(result,
+                                              "failover_violations"),
+        "cluster_failed_requests": _cluster_field(result,
+                                                  "failed_requests"),
+        "failover_promotions": _cluster_field(result, "failover",
+                                              "promotions"),
+        "post_promotion_moved": _cluster_field(result, "failover",
+                                               "post_promotion_moved"),
         # translation-accel lab (repro.accel): the backend's telemetry
         # dict, or None for unaccelerated runs
         "accel": result.accel,
@@ -548,6 +562,104 @@ def cluster_table(records: Iterable[dict]) -> str:
         ["program", "nodes", "cache", "req/cycle", "scaling", "p99",
          "fairness", "route hits", "MOVED", "ASK", "oracle"],
         rows)
+
+
+def failover_table(records: Iterable[dict]) -> str:
+    """Failover economics: availability under faults, lazy vs eager.
+
+    Groups cluster records by (program, seed); within each group the
+    fault-free run anchors the quiet-run p99, and every faulted run
+    (one carrying a ``failover`` payload) becomes a row:
+
+    * **avail** — the fraction of the fault run's requests that still
+      met the quiet run's p99 (the CDF of the fault-run latency
+      histogram probed at the quiet p99) — the availability metric the
+      failover benchmark pins a floor under;
+    * **vs quiet** — the fault-run p99 as a multiple of the quiet p99
+      (tail inflation attributable to the fault plan);
+    * **MOVED/promo** — post-promotion redirects per promotion, the
+      price of *lazy* route repair (eager broadcast pays route pushes
+      instead and shows 0 here);
+    * **writes verdict** — the acked-write oracle: ``OK`` means every
+      acknowledged write survived; losses (no replica existed) are
+      telemetry; violations would have raised :class:`FailoverError`
+      at run time and are re-surfaced loudly from archived records.
+
+    A trailing line summarises the lazy-vs-eager p99 delta over seeds
+    where both policies ran — the measurable A/B behind the repair-
+    policy knob.
+    """
+    by_group: Dict[Tuple, dict] = {}
+    for record in records:
+        cluster = record.get("result", {}).get("cluster")
+        if not cluster:
+            continue
+        config = record.get("config", {})
+        key = (config.get("program"), config.get("seed"))
+        group = by_group.setdefault(key, {"quiet": None, "faulted": []})
+        if cluster.get("failover"):
+            group["faulted"].append(cluster)
+        elif not config.get("node_fault_plan"):
+            group["quiet"] = cluster
+    if not any(group["faulted"] for group in by_group.values()):
+        return "(no failover records)"
+
+    rows: List[List[str]] = []
+    deltas: List[float] = []
+    for key in sorted(by_group, key=repr):
+        group = by_group[key]
+        quiet = group["quiet"]
+        base_p99 = quiet["latency"]["p99"] if quiet else None
+        p99_by_policy: Dict[str, float] = {}
+        for cluster in sorted(
+                group["faulted"],
+                key=lambda c: c["failover"].get("repair_policy", "")):
+            failover = cluster["failover"]
+            p99 = cluster["latency"]["p99"]
+            hist = LatencyHistogram.from_dict(cluster["histogram"])
+            avail = (f"{hist.fraction_at_or_below(base_p99):.1%}"
+                     if base_p99 and hist.count else "-")
+            inflation = f"{p99 / base_p99:.2f}x" if base_p99 else "-"
+            promotions = failover.get("promotions", 0)
+            moved = failover.get("post_promotion_moved", 0)
+            per_promo = f"{moved / promotions:.1f}" if promotions else "-"
+            violations = cluster.get("failover_violations", 0)
+            losses = cluster.get("acked_write_losses", 0)
+            if violations:
+                verdict = f"{violations} VIOLATIONS"
+            elif losses:
+                verdict = f"{losses} lost (no replica)"
+            else:
+                verdict = "OK"
+            policy = failover.get("repair_policy", "?")
+            p99_by_policy[policy] = p99
+            rows.append([
+                str(key[0]),
+                str(key[1]),
+                policy,
+                str(promotions),
+                avail,
+                f"{p99:.0f}",
+                inflation,
+                per_promo,
+                str(cluster.get("failed_requests", 0)),
+                f"{cluster.get('acked_writes', 0)}"
+                f"/{cluster.get('writes', 0)}",
+                verdict,
+            ])
+        lazy = p99_by_policy.get("lazy")
+        eager = p99_by_policy.get("eager")
+        if lazy and eager is not None:
+            deltas.append((eager - lazy) / lazy)
+    table = format_table(
+        ["program", "seed", "policy", "promos", "avail", "p99",
+         "vs quiet", "MOVED/promo", "failed", "acked", "writes verdict"],
+        rows)
+    if deltas:
+        mean = sum(deltas) / len(deltas)
+        table += (f"\nlazy->eager p99 delta: {mean:+.1%} "
+                  f"(mean over {len(deltas)} seed(s) with both policies)")
+    return table
 
 
 def sweep_summary(report, wall_seconds: float) -> dict:

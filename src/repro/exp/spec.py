@@ -42,6 +42,8 @@ __all__ = [
     "CHURN_SWEEP_RATES",
     "CLUSTER_SWEEP_NODES",
     "CORE_SWEEP_COUNTS",
+    "FAILOVER_SWEEP_PLAN",
+    "FAILOVER_SWEEP_SEEDS",
     "LOAD_SWEEP_LOADS",
     "SIZE_SWEEP_RATIOS",
 ]
@@ -420,6 +422,51 @@ def _scale_points() -> List[SweepPoint]:
     return spec.expand()
 
 
+#: the crash-and-recover script of the ``failover`` sweep: one primary
+#: dies at 35% of the run, restarts (empty, stealing a share back) at
+#: 75% — long enough on both sides that availability and tail inflation
+#: are measured in steady state, not inside the detection transient
+FAILOVER_SWEEP_PLAN: Tuple[str, ...] = (
+    "crash:node=1,at=0.35", "restart:node=1,at=0.75")
+
+#: seeds of the failover sweep (determinism and the acked-write oracle
+#: are re-proven per seed, not for one lucky stream)
+FAILOVER_SWEEP_SEEDS: Tuple[int, ...] = (1, 2, 3)
+
+
+def _failover_points() -> List[SweepPoint]:
+    """Failover A/B: a scripted crash/restart under lazy vs eager repair.
+
+    Three points per seed: the quiet baseline (no fault plan — the
+    availability reference), the crash script under lazy repair (stale
+    routes die by MOVED on next touch, the address-centric default),
+    and the same script under eager repair (ownership changes broadcast
+    into every client cache).  Replicas=1, so the acked-write oracle
+    must hold exactly: any acknowledged write failing to survive the
+    promotion raises ``FailoverError`` and fails the sweep.  The
+    reporting layer folds the points into availability, p99 inflation,
+    redirects-per-promotion and the lazy-vs-eager delta
+    (:func:`repro.exp.reporting.failover_table`).
+    """
+    import os
+    num_keys = int(os.environ.get("REPRO_BENCH_KEYS", "8000"))
+    measure_ops = int(os.environ.get("REPRO_BENCH_OPS", "1500"))
+    spec = SweepSpec(
+        name="failover",
+        base=dict(num_keys=num_keys, measure_ops=measure_ops,
+                  frontend="stlt", distribution="uniform",
+                  num_cores=2, offered_load=0.6,
+                  nodes=3, replicas=1, net_rtt_cycles=300.0),
+        grid={"seed": list(FAILOVER_SWEEP_SEEDS)},
+        zipped={
+            "node_fault_plan": [(), FAILOVER_SWEEP_PLAN,
+                                FAILOVER_SWEEP_PLAN],
+            "repair_policy": ["lazy", "lazy", "eager"],
+        },
+    )
+    return spec.expand()
+
+
 def _fastpath_points() -> List[SweepPoint]:
     """Batched-mode companion of ``smoke``: the same tiny configs run
     through the fused execution path, single- and two-core, so CI
@@ -499,6 +546,10 @@ _BUILTIN: Dict[str, Tuple[Callable[[], List[SweepPoint]], str]] = {
     "scale": (
         _scale_points,
         "cluster node scaling x route cache on/off over a real RTT"),
+    "failover": (
+        _failover_points,
+        "cluster crash/restart: lazy vs eager route repair, acked-write "
+        "oracle"),
     "fastpath": (
         _fastpath_points,
         "batched-mode smoke: the fused execution path, 1 and 2 cores"),

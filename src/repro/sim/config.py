@@ -15,6 +15,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Optional, Tuple
 
 from ..chaos.schedule import parse_fault
+from ..cluster.failover import parse_node_fault
 from ..errors import ConfigError, FaultInjectionError
 from ..params import SCALED_MACHINE, MachineParams, machine_from_dict
 
@@ -159,6 +160,36 @@ class RunConfig:
     #: 0 = the quiet network (all transfers free — the bit-identity
     #: anchor for one-node cluster runs)
     net_rtt_cycles: float = 0.0
+    #: cluster: node-fault plan in the repro.cluster.failover grammar,
+    #: e.g. "crash:node=1,at=0.4", "restart:node=1,at=0.8",
+    #: "partition:node=2,start=0.3,stop=0.6",
+    #: "degrade:node=0,factor=4,start=0.2,stop=0.5" or
+    #: "storm:rate=0.0005"; parsed (and rejected) eagerly at config
+    #: time, inert on the plain single-node path
+    node_fault_plan: Tuple[str, ...] = ()
+    #: cluster: failure-detector timeout in cycles of simulated time
+    #: between a primary going dark and its replica being promoted
+    failover_detect_cycles: float = 4000.0
+    #: cluster: how surviving clients' route caches heal after a
+    #: promotion — "lazy" (stale rows die by MOVED on next touch, the
+    #: address-centric default) or "eager" (every committed ownership
+    #: change broadcasts invalidations into all client caches
+    #: immediately, the shootdown analogue)
+    repair_policy: str = "lazy"
+    #: cluster: per-attempt client timeout as a multiple of one healthy
+    #: exchange (mean service time + RTT); None = no explicit timeout
+    #: (fault-plan runs then default to a generous multiple, quiet runs
+    #: to none at all)
+    cluster_timeout: Optional[float] = None
+    #: cluster: bounded retries after a timed-out attempt (each retry
+    #: re-resolves through a bootstrap node with exponential
+    #: ``svc_backoff``); no-op unless a timeout is armed
+    cluster_retries: int = 2
+    #: cluster: hedge delay for reads, as a multiple of one healthy
+    #: exchange — a second copy fires against a reachable replica when
+    #: the primary path is dead or slower than this; None disables
+    #: cross-node hedging
+    cluster_hedge: Optional[float] = None
     #: translation-acceleration backend (see ACCELS); orthogonal to
     #: ``frontend`` but only meaningful on the baseline frontend — the
     #: non-"none" backends replace (not stack on) the key-level fast
@@ -250,6 +281,32 @@ class RunConfig:
             raise ConfigError("migration rate must be within [0, 1]")
         if self.net_rtt_cycles < 0:
             raise ConfigError("network RTT cannot be negative")
+        storms = 0
+        for spec in self.node_fault_plan:
+            fault = parse_node_fault(spec)  # typos fail at config time
+            if fault.kind == "storm":
+                storms += 1
+                if storms > 1:
+                    raise FaultInjectionError(
+                        "at most one storm: spec per node fault plan")
+            elif fault.node >= self.nodes and self.cluster_enabled:
+                # on the plain single-node path the plan is inert; a
+                # run that actually builds a fleet needs real targets
+                raise FaultInjectionError(
+                    f"node fault {spec!r} targets node {fault.node} "
+                    f"but the run has {self.nodes} node(s)")
+        if self.failover_detect_cycles <= 0:
+            raise ConfigError("failure detection window must be positive")
+        if self.repair_policy not in ("lazy", "eager"):
+            raise ConfigError(
+                f"unknown repair policy {self.repair_policy!r}; "
+                f"choose 'lazy' or 'eager'")
+        if self.cluster_timeout is not None and self.cluster_timeout <= 0:
+            raise ConfigError("cluster timeout must be positive")
+        if self.cluster_retries < 0:
+            raise ConfigError("cluster retries cannot be negative")
+        if self.cluster_hedge is not None and self.cluster_hedge <= 0:
+            raise ConfigError("cluster hedge delay must be positive")
         if self.accel not in ACCELS:
             raise ConfigError(
                 f"unknown accel {self.accel!r}; choose one of {ACCELS!r}")
@@ -380,6 +437,7 @@ class RunConfig:
         data = asdict(self)
         data["prefetchers"] = list(data["prefetchers"])
         data["fault_plan"] = list(data["fault_plan"])
+        data["node_fault_plan"] = list(data["node_fault_plan"])
         return data
 
     @classmethod
@@ -395,6 +453,8 @@ class RunConfig:
             kwargs["prefetchers"] = tuple(kwargs["prefetchers"])
         if "fault_plan" in kwargs:
             kwargs["fault_plan"] = tuple(kwargs["fault_plan"])
+        if "node_fault_plan" in kwargs:
+            kwargs["node_fault_plan"] = tuple(kwargs["node_fault_plan"])
         if "machine" in kwargs and isinstance(kwargs["machine"], dict):
             kwargs["machine"] = machine_from_dict(kwargs["machine"])
         return cls(**kwargs)
@@ -447,6 +507,13 @@ class RunConfig:
                 base = f"{base}~mig{self.migrate_rate:g}"
             if self.net_rtt_cycles > 0.0:
                 base = f"{base}+net{self.net_rtt_cycles:g}"
+            if self.node_fault_plan:
+                base = f"{base}~nfault{len(self.node_fault_plan)}"
+            if self.repair_policy != "lazy":
+                base = f"{base}+eager"
+            if self.cluster_timeout is not None \
+                    or self.cluster_hedge is not None:
+                base = f"{base}+cmit"
         if self.exec_mode == "untimed":
             # timed modes share the label (their numbers are identical);
             # untimed results carry zero cycles and must not be mistaken

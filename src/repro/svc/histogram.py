@@ -169,6 +169,22 @@ class LatencyHistogram:
         """The canonical report: p50 / p95 / p99 / p99.9."""
         return {name: self.quantile(q) for name, q in REPORTED_QUANTILES}
 
+    def fraction_at_or_below(self, value: float) -> float:
+        """The empirical CDF at ``value``: the fraction of observations
+        at or below it, within one bucket's relative error (the bucket
+        containing ``value`` counts fully).  This is the availability
+        probe of the failover reports — "what fraction of fault-run
+        requests still met the quiet-run p99 SLO".
+        """
+        if value < 0:
+            raise ConfigError("latencies cannot be negative")
+        if not self.count:
+            raise ReproError("fraction of an empty histogram")
+        limit = self.bucket_index(value)
+        at_or_below = sum(count for index, count in self.counts.items()
+                          if index <= limit)
+        return at_or_below / self.count
+
     # -- serialisation -----------------------------------------------------
 
     def to_dict(self) -> dict:

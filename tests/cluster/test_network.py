@@ -1,5 +1,7 @@
 """Unit tests for the cluster network model (`repro.cluster.network`)."""
 
+import math
+
 import pytest
 
 from repro.cluster.network import (
@@ -101,3 +103,100 @@ class TestTelemetry:
         assert report["bytes_moved"] == REQUEST_HEADER_BYTES + 128
         assert report["rtt_cycles"] == RTT
         assert report["bytes_per_cycle"] == DEFAULT_BYTES_PER_CYCLE
+
+    def test_per_link_counters(self):
+        """report()['links'] attributes reservations, bytes, and wait
+        cycles to each directed link (PR 9 satellite)."""
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        net.one_way("a", "b", 800, at=0.0)   # busy [0, 100)
+        net.one_way("a", "b", 800, at=0.0)   # waits 100 cycles
+        net.one_way("b", "a", 160, at=0.0)
+        links = net.report()["links"]
+        assert links["a->b"]["reservations"] == 2
+        assert links["a->b"]["bytes"] == 1600
+        assert links["a->b"]["wait_cycles"] == pytest.approx(100.0)
+        assert links["b->a"]["reservations"] == 1
+        assert links["b->a"]["bytes"] == 160
+        assert links["b->a"]["wait_cycles"] == 0.0
+        for stats in links.values():
+            assert stats["drops"] == 0
+            assert stats["degraded"] == 0
+
+
+class TestPartition:
+    def test_partitioned_endpoint_drops_both_directions(self):
+        net = ClusterNetwork(RTT)
+        net.partition("n1")
+        assert not net.reachable("c0", "n1")
+        assert not net.reachable("n1", "c0")
+        assert math.isinf(net.one_way("c0", "n1", 64, at=0.0))
+        assert math.isinf(net.one_way("n1", "c0", 64, at=0.0))
+        assert math.isinf(net.round_trip("c0", "n1", 64, 128, at=0.0))
+
+    def test_drops_reserve_nothing_and_are_counted_per_link(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        net.partition("n1")
+        net.one_way("c0", "n1", 800, at=0.0)
+        report = net.report()
+        assert report["drops"] == 1
+        assert report["transfers"] == 0
+        assert report["bytes_moved"] == 0
+        assert report["links"]["c0->n1"]["drops"] == 1
+        assert report["links"]["c0->n1"]["reservations"] == 0
+        # the link's timeline is untouched: a post-heal transfer at the
+        # same instant starts immediately
+        net.heal("n1")
+        assert net.reachable("c0", "n1")
+        delivery = net.one_way("c0", "n1", 800, at=0.0)
+        assert delivery == pytest.approx(100.0 + RTT / 2.0)
+
+    def test_partition_drops_even_on_a_quiet_network(self):
+        net = ClusterNetwork(0.0)
+        net.partition("n0")
+        assert math.isinf(net.one_way("c0", "n0", 64, at=0.0))
+        assert net.report()["drops"] == 1
+
+    def test_heal_is_idempotent(self):
+        net = ClusterNetwork(RTT)
+        net.heal("never-partitioned")
+        assert net.reachable("a", "never-partitioned")
+
+
+class TestDegrade:
+    def test_latency_multiplier_stretches_propagation_only(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        net.degrade("n1", latency_mult=3.0)
+        delivery = net.one_way("c0", "n1", 80, at=0.0)
+        assert delivery == pytest.approx(80 / 8.0 + 3.0 * RTT / 2.0)
+
+    def test_bandwidth_divisor_stretches_serialization_only(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        net.degrade("n1", bandwidth_div=4.0)
+        delivery = net.one_way("c0", "n1", 80, at=0.0)
+        assert delivery == pytest.approx(4.0 * 80 / 8.0 + RTT / 2.0)
+
+    def test_worse_endpoint_wins_per_axis(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        net.degrade("a", latency_mult=2.0, bandwidth_div=1.0)
+        net.degrade("b", latency_mult=1.0, bandwidth_div=4.0)
+        delivery = net.one_way("a", "b", 80, at=0.0)
+        assert delivery == pytest.approx(4.0 * 80 / 8.0 + 2.0 * RTT / 2.0)
+
+    def test_degraded_transfers_are_counted_and_restorable(self):
+        net = ClusterNetwork(RTT, bytes_per_cycle=8.0)
+        net.degrade("n1", latency_mult=2.0)
+        net.one_way("c0", "n1", 80, at=0.0)
+        net.restore("n1")
+        clean = net.one_way("c0", "n1", 80, at=500.0)
+        assert clean == pytest.approx(500.0 + 80 / 8.0 + RTT / 2.0)
+        report = net.report()
+        assert report["degraded_transfers"] == 1
+        assert report["links"]["c0->n1"]["degraded"] == 1
+        assert report["links"]["c0->n1"]["reservations"] == 2
+
+    def test_degrade_factors_below_one_are_rejected(self):
+        net = ClusterNetwork(RTT)
+        with pytest.raises(ClusterError):
+            net.degrade("n1", latency_mult=0.5)
+        with pytest.raises(ClusterError):
+            net.degrade("n1", bandwidth_div=0.9)

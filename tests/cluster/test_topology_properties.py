@@ -108,3 +108,99 @@ class TestDeterminism:
         _apply(b, ops)
         assert a.assignment() == b.assignment()
         assert a.node_ids == b.node_ids
+
+
+# ----------------------------------------------------------------------
+# failures: crash / restart interleaved with membership (PR 9 satellite)
+# ----------------------------------------------------------------------
+
+def _apply_faults(topo, ops):
+    """Replay a script mixing joins, leaves, crashes, and restarts;
+    skips operations that are illegal in the current state (exactly
+    what a driver would refuse to schedule)."""
+    for op in ops:
+        if op is None:
+            topo.add_node()
+        elif isinstance(op, int):
+            if (topo.num_nodes > 1
+                    and topo.replicas < topo.num_nodes - 1):
+                topo.remove_node(topo.node_ids[op % topo.num_nodes])
+        else:
+            kind, pick = op
+            if kind == "crash":
+                if topo.num_nodes > 1:
+                    topo.crash_node(topo.node_ids[pick % topo.num_nodes])
+            elif topo.down_nodes:
+                down = sorted(topo.down_nodes)
+                topo.restart_node(down[pick % len(down)])
+
+
+#: None = join; int = leave; ("crash"|"restart", pick) = failure event
+FAULT_SCRIPT = st.lists(
+    st.one_of(
+        st.none(),
+        st.integers(min_value=0, max_value=31),
+        st.tuples(st.sampled_from(["crash", "restart"]),
+                  st.integers(min_value=0, max_value=31)),
+    ),
+    max_size=14)
+
+
+class TestFailureInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(nodes=st.integers(min_value=1, max_value=8), ops=FAULT_SCRIPT)
+    def test_crash_restart_preserve_balance_without_replicas(
+            self, nodes, ops):
+        """Replica-less crashes redistribute like leaves: the +/-1
+        balance bound survives arbitrary interleavings."""
+        topo = ClusterTopology(nodes, num_slots=SLOTS)
+        _apply_faults(topo, ops)
+        counts = topo.counts()
+        assert sum(counts.values()) == SLOTS
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(nodes=st.integers(min_value=2, max_value=8), ops=FAULT_SCRIPT,
+           replicas=st.integers(min_value=0, max_value=1))
+    def test_no_slot_is_ever_owned_by_a_dead_node(self, nodes, ops,
+                                                  replicas):
+        """While at least one node lives, every slot has a live
+        authoritative owner — never a crashed one, never zero."""
+        topo = ClusterTopology(nodes, replicas=replicas, num_slots=SLOTS)
+        _apply_faults(topo, ops)
+        assert topo.num_nodes >= 1
+        live = set(topo.node_ids)
+        assert live.isdisjoint(topo.down_nodes)
+        assert all(owner in live for owner in topo.assignment())
+
+    @settings(max_examples=60, deadline=None)
+    @given(nodes=st.integers(min_value=3, max_value=8), ops=MEMBERSHIP,
+           pick=st.integers(min_value=0, max_value=31))
+    def test_promotion_lands_on_the_pre_crash_replica(self, nodes, ops,
+                                                      pick):
+        """With one replica configured, every slot orphaned by a crash
+        is promoted onto exactly its pre-crash ring successor —
+        ownership follows the data."""
+        topo = ClusterTopology(nodes, replicas=1, num_slots=SLOTS)
+        _apply_faults(topo, ops)  # joins/leaves only; guard keeps >= 2
+        victim = topo.node_ids[pick % topo.num_nodes]
+        successor_of = {slot: topo.replicas_of(slot)[0]
+                        for slot in topo.slots_of(victim)}
+        epochs_before = {slot: topo.epoch(slot) for slot in successor_of}
+        orphans = topo.crash_node(victim)
+        assert set(orphans) == set(successor_of)
+        for slot, successor in successor_of.items():
+            assert topo.owner(slot) == successor
+            assert topo.epoch(slot) == epochs_before[slot] + 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(nodes=st.integers(min_value=1, max_value=8), ops=FAULT_SCRIPT)
+    def test_fault_script_is_deterministic(self, nodes, ops):
+        a = ClusterTopology(nodes, num_slots=SLOTS)
+        b = ClusterTopology(nodes, num_slots=SLOTS)
+        _apply_faults(a, ops)
+        _apply_faults(b, ops)
+        assert a.assignment() == b.assignment()
+        assert a.node_ids == b.node_ids
+        assert a.down_nodes == b.down_nodes
+        assert a.slot_epoch == b.slot_epoch

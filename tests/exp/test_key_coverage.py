@@ -51,6 +51,12 @@ ALTERNATES = {
     "replica_reads": True,
     "migrate_rate": 0.01,
     "net_rtt_cycles": 250.0,
+    "node_fault_plan": ("crash:node=0,at=0.5",),
+    "failover_detect_cycles": 2000.0,
+    "repair_policy": "eager",
+    "cluster_timeout": 10.0,
+    "cluster_retries": 4,
+    "cluster_hedge": 3.0,
     "accel": "stlt",
     "accel_rows": 4096,
     "accel_ways": 8,

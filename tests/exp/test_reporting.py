@@ -35,6 +35,11 @@ EXPECTED_METRIC_KEYS = {
     "migrations_committed", "route_violations",
     # translation-accel telemetry (PR 8) — None for accel=none records
     "accel",
+    # failover / acked-write oracle telemetry (PR 9) — None for
+    # single-node records
+    "cluster_writes", "acked_writes", "acked_write_losses",
+    "failover_violations", "cluster_failed_requests",
+    "failover_promotions", "post_promotion_moved",
 }
 
 

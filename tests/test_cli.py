@@ -310,6 +310,7 @@ class TestExitCodes:
         assert exit_code_for(errors.AllocationError("x")) == 9
         assert exit_code_for(errors.ReproError("x")) == 10
         assert exit_code_for(errors.ClusterError("x")) == 11
+        assert exit_code_for(errors.FailoverError("x")) == 12
         # distinctness: no two classes share a code
         assert len(set(EXIT_CODES.values())) == len(EXIT_CODES)
 
@@ -341,6 +342,61 @@ class TestExitCodes:
         rc = main(["run", "--churn-rate", "1.5"] + CHAOS_ARGS)
         assert rc == 2
         assert "repro: ConfigError:" in capsys.readouterr().err
+
+
+class TestFailoverExitCode:
+    """FailoverError gets its own code (12), distinct from the generic
+    cluster code (11) despite subclassing ClusterError — the explicit
+    EXIT_CODES entry wins over the MRO walk (satellite: PR 9)."""
+
+    def test_failover_beats_its_cluster_superclass(self):
+        from repro import errors
+        from repro.cli import exit_code_for
+
+        assert issubclass(errors.FailoverError, errors.ClusterError)
+        assert exit_code_for(errors.FailoverError("x")) == 12
+        assert exit_code_for(errors.ClusterError("x")) == 11
+
+    def test_bad_node_fault_spec_exits_4_with_one_line(self, capsys):
+        rc = main(["cluster", "--nodes", "2",
+                   "--node-fault-plan", "meteor:node=0"] + CHAOS_ARGS)
+        assert rc == 4
+        captured = capsys.readouterr()
+        assert "repro: FaultInjectionError:" in captured.err
+        assert "meteor" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_fault_on_missing_node_exits_4(self, capsys):
+        rc = main(["cluster", "--nodes", "3",
+                   "--node-fault-plan", "crash:node=7,at=0.5"]
+                  + CHAOS_ARGS)
+        assert rc == 4
+        assert "node 7" in capsys.readouterr().err
+
+    def test_failover_violation_exits_12_with_one_line(self, capsys,
+                                                       monkeypatch):
+        # an actual oracle violation requires a buggy promotion, which
+        # the simulator (correctly) refuses to produce — exercise the
+        # CLI contract at the seam the real exception crosses
+        import repro.cli as cli
+        from repro.errors import FailoverError
+
+        def boom(config):
+            raise FailoverError(
+                "failover oracle: 1 acknowledged write(s) with a live "
+                "replica at ack time did not survive to the end of "
+                "the run")
+
+        monkeypatch.setattr(cli, "run_experiment", boom)
+        rc = main(["cluster", "--nodes", "3", "--replicas", "1",
+                   "--node-fault-plan", "crash:node=1,at=0.5"]
+                  + CHAOS_ARGS)
+        assert rc == 12
+        captured = capsys.readouterr()
+        assert "repro: FailoverError:" in captured.err
+        assert "acknowledged write" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1
 
 
 class TestChaosCommand:
