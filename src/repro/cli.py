@@ -37,7 +37,7 @@ Every :class:`~repro.errors.ReproError` subclass maps to its own exit
 code with a one-line message on stderr (no tracebacks for expected
 failures): config 2, coherence 3, fault plan 4, STLT misuse 5, KVS 6,
 address 7, page fault 8, allocation 9, other repro errors 10,
-cluster 11, failover 12.
+cluster 11, failover 12, hetero 13.
 
 Examples::
 
@@ -56,6 +56,8 @@ Examples::
         --node-fault-plan crash:node=1,at=0.4 --timeout 8 --retries 2
     python -m repro cluster --nodes 3 --replicas 1 --net-rtt 300 \
         --node-fault-plan storm:rate=0.001 --eager-repair --hedge 4
+    python -m repro cluster --node-types 2full+1accel --replicas 1 \
+        --net-rtt 300
     python -m repro breakdown --program redis
     python -m repro sweep smoke --jobs 2
     python -m repro sweep --list
@@ -75,7 +77,7 @@ import time
 from typing import List, Optional
 
 from . import __version__
-from .core.hwcost import accel_hardware_cost, hardware_cost
+from .core.hwcost import accel_hardware_cost, hardware_cost, kv_accel_cost
 from .errors import (
     AddressError,
     AllocationError,
@@ -84,6 +86,7 @@ from .errors import (
     ConfigError,
     FailoverError,
     FaultInjectionError,
+    HeteroError,
     KVSError,
     PageFault,
     ReproError,
@@ -100,6 +103,7 @@ from .exp import (
     cluster_table,
     failover_table,
     get_sweep,
+    hetero_table,
     latency_table,
     make_record,
     scaling_table,
@@ -108,6 +112,7 @@ from .exp import (
     sweep_descriptions,
     sweep_summary,
 )
+from .hetero.fleet import parse_node_types
 from .sim.breakdown import run_breakdown
 from .sim.config import (
     ACCELS,
@@ -137,9 +142,10 @@ EXIT_CODES = {
     AllocationError: 9,
     ReproError: 10,
     ClusterError: 11,
-    # FailoverError subclasses ClusterError; its explicit entry wins
-    # over the superclass in the MRO walk
+    # FailoverError and HeteroError subclass ClusterError; their
+    # explicit entries win over the superclass in the MRO walk
     FailoverError: 12,
+    HeteroError: 13,
 }
 
 
@@ -204,6 +210,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
+    # --node-types fixes the fleet size: the spec *is* the fleet, so an
+    # explicit --nodes is overridden rather than cross-checked
+    node_types = getattr(args, "node_types", None)
+    nodes = getattr(args, "nodes", 1)
+    if node_types is not None:
+        nodes = len(parse_node_types(node_types))
     return RunConfig(
         program=args.program,
         frontend=frontend or args.frontend,
@@ -241,7 +253,7 @@ def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
         svc_hedge=getattr(args, "hedge", None),
         svc_fallback=getattr(args, "fallback", False),
         # cluster knobs, present only on the cluster parser
-        nodes=getattr(args, "nodes", 1),
+        nodes=nodes,
         replicas=getattr(args, "replicas", 0),
         route_cache=not getattr(args, "no_route_cache", False),
         client_batch=getattr(args, "batch", 1),
@@ -260,6 +272,10 @@ def _config_from_args(args: argparse.Namespace, frontend=None) -> RunConfig:
         cluster_timeout=getattr(args, "cluster_timeout", None),
         cluster_retries=getattr(args, "cluster_retries", 2),
         cluster_hedge=getattr(args, "cluster_hedge", None),
+        # heterogeneous fleet knobs, present only on the cluster parser
+        node_types=node_types,
+        hetero_accel_keys=getattr(args, "accel_keys", None),
+        hetero_big_key_fraction=getattr(args, "big_key_fraction", 0.0),
         exec_mode=getattr(args, "exec_mode", "reference"),
         seed=args.seed,
     )
@@ -496,6 +512,28 @@ def _print_cluster(result: RunResult) -> None:
                      if losses else "all acked writes survived")
         print(f"writes        : {cluster.get('writes', 0)} attempted, "
               f"{cluster.get('acked_writes', 0)} acked; {loss_note}")
+    hetero = cluster.get("hetero") or {}
+    if hetero:
+        fallbacks = hetero.get("fallbacks", {})
+        print(f"fleet mix     : {hetero.get('node_types')} "
+              f"({hetero.get('fleet_cost_units', 0.0):g} cost units, "
+              f"accel capacity {hetero.get('accel_keys')} keys)")
+        print(f"accel GETs    : {hetero.get('accel_gets', 0)} "
+              f"({hetero.get('accel_hits', 0)} served on-chip, "
+              f"{hetero.get('accel_hit_fraction', 0.0):.1%} hit "
+              f"fraction)")
+        print(f"fallbacks     : {fallbacks.get('capacity', 0)} capacity, "
+              f"{fallbacks.get('set', 0)} SET, "
+              f"{fallbacks.get('oversized', 0)} oversized "
+              f"({hetero.get('fallback_rate', 0.0):.1%} of requests, "
+              f"{hetero.get('cap_reroutes', 0)} client pre-routes)")
+        print(f"cost-normal.  : "
+              f"{hetero.get('cost_normalized_throughput', 0.0):.5f} "
+              f"req/cycle per cost unit")
+        cviolations = hetero.get("capability_violations", 0)
+        print(f"capab. oracle : "
+              f"{'OK' if not cviolations else f'{cviolations} VIOLATIONS'} "
+              f"({hetero.get('capability_checks', 0)} dispatch checks)")
     violations = cluster.get("oracle_violations", 0)
     fviolations = cluster.get("failover_violations", 0)
     print(f"oracle        : "
@@ -616,6 +654,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if "no failover" not in failover:
             print()
             print(failover)
+        hetero = hetero_table(records)
+        if "no hetero" not in hetero:
+            print()
+            print(hetero)
         print()
         print(report.summary())
         print(f"store: {summary['store_hits']} hit(s), "
@@ -634,6 +676,13 @@ def cmd_hwcost(args: argparse.Namespace) -> int:
     for component, bits in report.rows():
         print(f"  {component:<22} {bits:>5} bits")
     print(f"  total bytes: {report.total_bytes}")
+    if getattr(args, "kv_accel", False):
+        node = kv_accel_cost(getattr(args, "accel_keys", None) or 4096)
+        print()
+        print("kv-accel node (repro.hetero)")
+        for component, bits in node.rows():
+            print(f"  {component:<22} {bits:>8} bits")
+        print(f"  total bytes: {node.total_bytes}")
     if not getattr(args, "all_accels", False):
         return 0
     for accel in ACCELS:
@@ -734,6 +783,21 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument(
         "--replicas", type=int, default=0,
         help="replica nodes per hash slot (default: 0)")
+    cluster_parser.add_argument(
+        "--node-types", default=None, metavar="SPEC",
+        help="heterogeneous fleet spec, e.g. '2full+1accel': "
+             "'+'-joined <count><class> terms (classes: full, accel; "
+             "at least one full node); fixes the node count, "
+             "overriding --nodes")
+    cluster_parser.add_argument(
+        "--accel-keys", type=int, default=None,
+        help="on-chip key capacity of each accelerator node "
+             "(power of two; default: 4096)")
+    cluster_parser.add_argument(
+        "--big-key-fraction", type=float, default=0.0,
+        help="fraction of the keyspace marked oversized (> 255-byte "
+             "wire keys), ineligible for accelerator dispatch "
+             "(default: 0)")
     cluster_parser.add_argument(
         "--no-route-cache", action="store_true",
         help="disable the client slot->node route cache (every request "
@@ -844,6 +908,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--all-accels", action="store_true",
         help="also print per-backend budgets for the rival "
              "translation accels (victima, pcax, revelator)")
+    hwcost_parser.add_argument(
+        "--kv-accel", action="store_true",
+        help="also print the KV-lookup accelerator node budget "
+             "(repro.hetero)")
+    hwcost_parser.add_argument(
+        "--accel-keys", type=int, default=None,
+        help="key capacity the --kv-accel budget is sized for "
+             "(default: 4096)")
     hwcost_parser.set_defaults(func=cmd_hwcost)
     return parser
 

@@ -107,6 +107,9 @@ class ClusterClient:
         self._window_node: Optional[int] = None
         #: per-request attempts that timed out against this client
         self.timeouts = 0
+        #: requests locally rerouted off an accelerator node by the
+        #: capability pre-route (heterogeneous fleets only)
+        self.cap_reroutes = 0
 
     # ------------------------------------------------------------------
     # routing
@@ -147,6 +150,31 @@ class ClusterClient:
             return node, "hit"
         self.cache.stale_hits += 1
         return cached, "stale"
+
+    def capability_route(self, slot: int, target: int,
+                         topology: ClusterTopology, is_write: bool,
+                         oversized: bool) -> int:
+        """Capability-aware pre-route (heterogeneous fleets only).
+
+        Clients know every node's capability descriptor from the
+        cluster bus, so when the judged target is an accelerator and
+        the operation is one it cannot serve — any write, or a GET
+        whose wire key exceeds the 255-byte limit — the request goes
+        straight to the slot's full-class authority instead.  This is
+        a *local* decision, not an extra hop: the ineligible op never
+        touches the accelerator.  Capacity misses cannot be judged
+        here (residency is the accelerator's secret) and fall back at
+        serve time instead.
+        """
+        if not topology.hetero or not topology.is_accel(target):
+            return target
+        if is_write:
+            self.cap_reroutes += 1
+            return topology.write_authority(slot)
+        if oversized:
+            self.cap_reroutes += 1
+            return topology.backer_of(slot)
+        return target
 
     def pick_read_node(self, slot: int,
                        topology: ClusterTopology) -> int:

@@ -32,7 +32,7 @@ fired-but-inapplicable accounting).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..chaos.schedule import ChaosSchedule
 from ..params import derive_seed
@@ -53,8 +53,17 @@ class MigrationScheduler:
     def __init__(self, topology: ClusterTopology, migrate_rate: float,
                  seed: int,
                  slot_source: Optional[Callable[[random.Random], int]]
+                 = None,
+                 dst_candidates: Optional[Callable[[], List[int]]]
                  = None) -> None:
         self.topology = topology
+        #: eligible migration destinations; the default is every
+        #: active node.  Heterogeneous fleets restrict this to full
+        #: nodes: an accelerator's key memory is managed by dispatch
+        #: (install on miss, invalidate on write), never by bulk slot
+        #: transfer — and an ASK window must forward to a node that
+        #: can serve *any* op on the slot
+        self._dst_candidates = dst_candidates
         #: the chaos machinery provides event positions: one schedule
         #: draw per request, exactly like the injector's per-slot draws
         self.schedule = ChaosSchedule(migrate_rate, seed)
@@ -106,7 +115,12 @@ class MigrationScheduler:
             self.skipped += 1
             return
         owner = self.topology.owner(slot)
-        others = [n for n in self.topology.node_ids if n != owner]
+        pool = (self._dst_candidates() if self._dst_candidates
+                is not None else self.topology.node_ids)
+        others = [n for n in pool if n != owner]
+        if not others:
+            self.skipped += 1
+            return
         dst = others[self.rng.randrange(len(others))]
         self._in_flight[slot] = (dst, index + event.burst * ASK_WINDOW_SCALE)
         self.started += 1

@@ -53,12 +53,23 @@ Two oracles cross-check every run:
 
 from __future__ import annotations
 
+import bisect
 import math
 import random
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import ClusterError, FailoverError, ReproError
+from ..errors import ClusterError, FailoverError, HeteroError, ReproError
+from ..hetero.accel_node import (
+    LOOKUP_BASE_CYCLES,
+    MODE_SWITCH_DRAIN_CYCLES,
+    AccelNodeModel,
+    delete_cycles,
+    install_cycles,
+    lookup_interval_cycles,
+    lookup_latency_cycles,
+)
+from ..hetero.fleet import NODE_CLASS_ACCEL, fleet_cost, format_node_types
 from ..params import derive_seed
 from ..svc.arrival import make_arrivals
 from ..svc.histogram import DEFAULT_PRECISION, LatencyHistogram
@@ -93,6 +104,21 @@ WRITE_FRACTION = 0.1
 #: almost never trips it, small enough that a handful of retries spans
 #: the failure-detection window
 DEFAULT_CLUSTER_TIMEOUT = 8.0
+
+#: wire bytes of a canonical scaled key (workloads.keys.key_bytes is
+#: always 24 bytes: b"user" + 20 decimal digits) — comfortably under
+#: the accelerator's 255-byte reserve limit
+CANON_KEY_BYTES = 24
+
+#: modeled wire size of a key marked oversized by
+#: ``hetero_big_key_fraction`` — above the 255-byte limit, so such
+#: GETs can never be described to an accelerator's engine
+BIG_KEY_BYTES = 512
+
+#: the multiplicative hash marking oversized keys: a fixed 32-bit
+#: mixer over the key id, deterministic and deliberately decorrelated
+#: from the zipf popularity ranking (low ids are the hot keys)
+_BIG_KEY_MIX = 0x9E3779B1
 
 
 @dataclass
@@ -167,6 +193,12 @@ class ClusterResult:
     #: failover telemetry (:meth:`FailoverScheduler.report` + repair
     #: policy, lost reads, loss window); None without a fault plan
     failover: Optional[dict] = None
+    #: heterogeneous-fleet telemetry (node classes, fleet cost,
+    #: accelerator hit fraction, fallback counts by class, capability
+    #: oracle verdict, cost-normalized throughput, per-accelerator
+    #: pipeline stats); None on a homogeneous fleet — all-full runs
+    #: carry the exact payload the plain cluster path produces
+    hetero: Optional[dict] = None
 
     @property
     def p50(self) -> float:
@@ -255,6 +287,133 @@ class _NodeServer:
         return completion
 
 
+class _AccelServer:
+    """The lookup pipeline of one accelerator node.
+
+    Serving is pipelined: a lookup's *latency* spans the whole
+    pipeline (hash walk + probe + value streaming) but the next lookup
+    may issue after only the initiation interval.  Pipeline occupancy
+    is an interval schedule, not a single high-water clock, for the
+    same reason :class:`~repro.cluster.network.ClusterNetwork` gap-
+    schedules its links: an install fires when the backer's value
+    *arrives* — often long after queueing — and a single ``free_at``
+    would make every later lookup wait behind that far-future write,
+    an artifact of reservation order, not of the modelled pipeline.
+
+    Every management instruction — install after a fallback, write-
+    invalidation on an acked SET — needs write mode, so each charges
+    one pipeline drain
+    (:data:`~repro.hetero.accel_node.MODE_SWITCH_DRAIN_CYCLES`) on top
+    of its instruction cycles; mutation time is charged on this same
+    timeline, never hidden.
+    """
+
+    __slots__ = ("name", "node_id", "model", "value_bytes", "_intervals",
+                 "served", "busy", "histogram", "latency_sum",
+                 "lookups", "hits", "misses", "installs",
+                 "invalidations", "mode_switches", "mgmt_cycles")
+
+    def __init__(self, node_id: int, capacity_keys: int,
+                 value_bytes: int, precision: int) -> None:
+        self.name = f"node{node_id}"
+        self.node_id = node_id
+        self.model = AccelNodeModel(capacity_keys)
+        self.value_bytes = value_bytes
+        #: sorted (start, end) busy intervals of the pipeline
+        self._intervals: List[Tuple[float, float]] = []
+        self.served = 0
+        self.busy = 0.0
+        self.histogram = LatencyHistogram(precision=precision)
+        self.latency_sum = 0.0
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.installs = 0
+        self.invalidations = 0
+        self.mode_switches = 0
+        self.mgmt_cycles = 0.0
+
+    def _claim(self, at: float, duration: float) -> float:
+        """Claim the earliest ``duration``-sized pipeline gap at or
+        after ``at``; returns the occupancy's start time."""
+        intervals = self._intervals
+        i = bisect.bisect_right(intervals, (at, float("inf")))
+        if i and intervals[i - 1][1] > at:
+            i -= 1
+        start = at
+        while i < len(intervals):
+            busy_start, busy_end = intervals[i]
+            if start + duration <= busy_start:
+                break
+            if busy_end > start:
+                start = busy_end
+            i += 1
+        intervals.insert(i, (start, start + duration))
+        self.busy += duration
+        return start
+
+    def serve_lookup(self, at: float, key_len: int) -> float:
+        """Serve one *resident* lookup; returns the completion time."""
+        latency = lookup_latency_cycles(key_len, self.value_bytes)
+        interval = lookup_interval_cycles(key_len, self.value_bytes)
+        start = self._claim(at, float(interval))
+        self.served += 1
+        self.lookups += 1
+        self.hits += 1
+        return start + latency
+
+    def miss_reply(self, at: float, key_len: int) -> float:
+        """A capacity miss: the pipeline still hashes the key and
+        probes both candidate slots before answering "not here"."""
+        start = self._claim(at, float(key_len))
+        self.lookups += 1
+        self.misses += 1
+        return start + key_len + LOOKUP_BASE_CYCLES
+
+    def install(self, at: float, key: bytes) -> None:
+        """Charge the management sequence installing ``key`` (reserve
+        + associates + write value, plus a delete when a candidate
+        slot must be evicted), in the pipeline's first fitting gap."""
+        evicted = self.model.install(key)
+        cycles = install_cycles(len(key), self.value_bytes,
+                                len(evicted) if evicted else 0) \
+            + MODE_SWITCH_DRAIN_CYCLES
+        self._claim(at, float(cycles))
+        self.mgmt_cycles += cycles
+        self.mode_switches += 1
+        self.installs += 1
+
+    def invalidate(self, at: float, key: bytes) -> None:
+        """Write-invalidation: an acked SET deletes the resident copy
+        so the accelerator can never serve a stale value."""
+        if not self.model.resident(key):
+            return
+        cycles = delete_cycles(len(key)) + MODE_SWITCH_DRAIN_CYCLES
+        self.model.delete(key)
+        self._claim(at, float(cycles))
+        self.mgmt_cycles += cycles
+        self.mode_switches += 1
+        self.invalidations += 1
+
+    def reset(self) -> None:
+        """Crash: the on-chip memory restarts empty."""
+        self.model.reset()
+
+    def report(self) -> dict:
+        data = {
+            "node": self.node_id,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "installs": self.installs,
+            "invalidations": self.invalidations,
+            "mode_switches": self.mode_switches,
+            "mgmt_cycles": self.mgmt_cycles,
+        }
+        data.update(self.model.report())
+        return data
+
+
 class _AckedWrite:
     """Latest acknowledged value of one key: who holds a copy."""
 
@@ -290,10 +449,29 @@ def simulate_cluster(
     if total_capacity <= 0.0:
         raise ClusterError("aggregate capacity must be positive")
 
-    topology = ClusterTopology(nodes, config.replicas)
+    # -- heterogeneous fleet? -----------------------------------------
+    # all gating below keys off this one flag: a homogeneous fleet
+    # (node_types absent *or* all-full) takes the exact pre-hetero
+    # code paths, pinned bit-identical by the golden hetero tests
+    hetero = bool(getattr(config, "hetero_enabled", False))
+    node_classes = config.node_classes if hetero else None
+    accel_keys = config.effective_accel_keys if hetero else None
+    big_fraction = config.hetero_big_key_fraction if hetero else 0.0
+
+    topology = ClusterTopology(nodes, config.replicas,
+                               node_classes=node_classes,
+                               accel_keys=accel_keys)
     network = ClusterNetwork(config.net_rtt_cycles)
-    servers = [_NodeServer(i, node_op_cycles[i], precision)
-               for i in range(nodes)]
+    if hetero:
+        servers = [
+            _AccelServer(i, accel_keys, config.value_size, precision)
+            if node_classes[i] == NODE_CLASS_ACCEL
+            else _NodeServer(i, node_op_cycles[i], precision)
+            for i in range(nodes)
+        ]
+    else:
+        servers = [_NodeServer(i, node_op_cycles[i], precision)
+                   for i in range(nodes)]
     clients = [
         ClusterClient(
             i, nodes,
@@ -336,7 +514,19 @@ def simulate_cluster(
     # and post-commit stale routes on slots that carry traffic
     migration = MigrationScheduler(
         topology, config.migrate_rate, config.seed,
-        slot_source=lambda rng: slot_for(rng.randrange(config.num_keys)))
+        slot_source=lambda rng: slot_for(rng.randrange(config.num_keys)),
+        dst_candidates=topology.full_nodes if hetero else None)
+
+    def _oversized(key_id: int) -> bool:
+        """Whether ``key_id`` is modeled oversized on the wire (above
+        the accelerator's 255-byte key limit).  A fixed multiplicative
+        hash marks the configured fraction deterministically per key
+        id — part of the workload definition, independent of the run
+        seed and decorrelated from zipf popularity."""
+        if big_fraction <= 0.0:
+            return False
+        return ((key_id * _BIG_KEY_MIX) & 0xFFFFFFFF) \
+            < big_fraction * 4294967296.0
 
     # -- failover machinery -------------------------------------------
     plan = tuple(parse_node_fault(s) for s in config.node_fault_plan)
@@ -403,7 +593,11 @@ def simulate_cluster(
         # a copy, or the old owner can ship it)
         keys = slot_keys.get(slot)
         if keys:
-            read_set = set(topology.read_set(slot))
+            # durable copies live on the write authority + replicas;
+            # for a homogeneous fleet that is exactly the read set, for
+            # a mixed one it excludes accelerator primaries (their
+            # on-chip memory is a cache, never a copy of record)
+            durable = topology.durable_set(slot)
             for key in keys:
                 holders = acked[key].holders
                 if not holders:
@@ -411,7 +605,7 @@ def simulate_cluster(
                 if new in holders or (old in holders
                                       and _can_sync_from(old)):
                     holders.clear()
-                    holders.update(read_set)
+                    holders.update(durable)
         # routes: the eager-repair broadcast pushes the new owner into
         # every client cache — fixing stale rows *and* installing rows
         # where timeouts already scrubbed one (the shootdown-style
@@ -440,6 +634,11 @@ def simulate_cluster(
                     if not rec.holders:
                         lost += 1
             _mark_loss(lost)
+            # a crashed accelerator loses its on-chip memory: it
+            # restarts cold and re-fills through capacity fallbacks
+            server = servers[node]
+            if isinstance(server, _AccelServer):
+                server.reset()
 
         def _promotion(node: int, slots: List[int]) -> None:
             # slots whose new owner has no copy serve fenced/empty data
@@ -458,15 +657,19 @@ def simulate_cluster(
             # stayed put may have changed — the replication daemon
             # re-syncs every key whose primary still holds a copy
             for slot, keys in slot_keys.items():
-                read_set: Optional[Set[int]] = None
-                owner = topology.owner(slot)
+                durable: Optional[Set[int]] = None
+                # the node driving the re-sync is the one serving the
+                # slot's writes: the primary, or (mixed fleets) the
+                # accelerator primary's full-class backer
+                authority = (topology.write_authority(slot) if hetero
+                             else topology.owner(slot))
                 for key in keys:
                     holders = acked[key].holders
-                    if owner in holders:
-                        if read_set is None:
-                            read_set = set(topology.read_set(slot))
+                    if authority in holders:
+                        if durable is None:
+                            durable = topology.durable_set(slot)
                         holders.clear()
-                        holders.update(read_set)
+                        holders.update(durable)
 
         failover.on_crash = _node_crashed
         failover.on_promotion = _promotion
@@ -482,6 +685,10 @@ def simulate_cluster(
     total_latency = 0.0
     value_bytes = REQUEST_HEADER_BYTES + config.value_size
     failed_hist = LatencyHistogram(precision=precision)
+    hetero_counters = {"accel_gets": 0, "accel_hits": 0,
+                       "fallback_capacity": 0, "fallback_set": 0,
+                       "fallback_oversized": 0, "capability_checks": 0}
+    capability_violations = 0
 
     def _read_hedge(client: ClusterClient, slot: int, at: float,
                     req_bytes: int, resp_bytes: int,
@@ -509,12 +716,14 @@ def simulate_cluster(
 
     def _attempt(client: ClusterClient, slot: int, start: float,
                  is_write: bool, use_cache: bool, req_bytes: int,
-                 resp_bytes: int
+                 resp_bytes: int, key_id: int = -1,
+                 oversized: bool = False
                  ) -> Optional[Tuple[float, int, bool, bool]]:
         """One request attempt from ``start``.  Returns (delivery,
         serve_node, served_via_ask, hedged) or None if every path
         timed out against unreachable nodes."""
         nonlocal moved_redirects, oracle_violations
+        nonlocal capability_violations
         if use_cache:
             target, _kind = client.target_for(slot, topology,
                                               is_read=not is_write)
@@ -522,6 +731,12 @@ def simulate_cluster(
             # a retry after a timeout: the stale row is gone, ask any
             # node and let MOVED point at the promoted owner
             target = client.bootstrap_node()
+        if hetero:
+            # capability pre-route: writes and oversized-key GETs
+            # never touch an accelerator — the client knows every
+            # node's descriptor, so this is local, not an extra hop
+            target = client.capability_route(slot, target, topology,
+                                             is_write, oversized)
         head = client.begin_request(target)
         t = network.one_way(client.name, servers[target].name,
                             req_bytes, start, propagate=head)
@@ -539,7 +754,12 @@ def simulate_cluster(
         # the primary — it answers with the owner's address, the
         # client retries there
         serve_node = target
-        authority = ((topology.owner(slot),) if is_write
+        # writes are acknowledged by the slot's write authority: the
+        # primary — or, when an accelerator owns the slot, its
+        # full-class backer (the node holding the authoritative data)
+        write_target = (topology.write_authority(slot) if hetero
+                        else topology.owner(slot))
+        authority = ((write_target,) if is_write
                      else topology.read_set(slot))
         if target not in authority:
             moved_redirects += 1
@@ -555,7 +775,12 @@ def simulate_cluster(
                                 REDIRECT_BYTES, t)
             owner = topology.owner(slot)
             client.on_moved(slot, owner)
-            serve_node = owner
+            serve_node = write_target if is_write else owner
+            if hetero and not is_write:
+                # the MOVED reply named the owner; an ineligible GET
+                # still peels off to the backer before the re-send
+                serve_node = client.capability_route(
+                    slot, serve_node, topology, is_write, oversized)
             head = True  # a redirected request restarts its window
             t = network.one_way(client.name, servers[serve_node].name,
                                 req_bytes, t)
@@ -586,7 +811,7 @@ def simulate_cluster(
             served_via_ask = True
 
         # -- the routing oracle ---------------------------------------
-        legal = ({topology.owner(slot)} if is_write
+        legal = ({write_target} if is_write
                  else set(topology.read_set(slot)))
         if served_via_ask:
             importing = migration.importing_node(slot)
@@ -596,7 +821,46 @@ def simulate_cluster(
             oracle_violations += 1
 
         server = servers[serve_node]
-        completion = server.serve(t)
+        if hetero and isinstance(server, _AccelServer):
+            hetero_counters["capability_checks"] += 1
+            key = key_bytes(key_id)
+            if is_write or oversized:
+                # the capability fence: dispatch makes this path
+                # unreachable; if a request ever lands here anyway the
+                # violation is recorded loudly (the run raises at the
+                # end) and the backer serves it so accounting holds
+                capability_violations += 1
+                serve_node = topology.backer_of(slot)
+                server = servers[serve_node]
+                completion = server.serve(t)
+            elif server.model.resident(key):
+                hetero_counters["accel_gets"] += 1
+                hetero_counters["accel_hits"] += 1
+                completion = server.serve_lookup(t, len(key))
+            else:
+                # capacity miss: the pipeline answers "not here", the
+                # client falls back to the slot's full-class backer,
+                # and the served value is installed behind the
+                # accelerator's pipeline for the next touch
+                hetero_counters["accel_gets"] += 1
+                hetero_counters["fallback_capacity"] += 1
+                accel = server
+                t = accel.miss_reply(t, len(key))
+                t = network.one_way(accel.name, client.name,
+                                    REDIRECT_BYTES, t)
+                backer = topology.backer_of(slot)
+                t = network.one_way(client.name, servers[backer].name,
+                                    req_bytes, t)
+                if math.isinf(t):
+                    return None
+                serve_node = backer
+                server = servers[serve_node]
+                completion = server.serve(t)
+                accel.install(completion, key)
+        else:
+            if hetero:
+                hetero_counters["capability_checks"] += 1
+            completion = server.serve(t)
         delivery = network.one_way(server.name, client.name,
                                    resp_bytes, completion,
                                    propagate=head)
@@ -623,6 +887,14 @@ def simulate_cluster(
         is_write = write_flags[index]
         if is_write:
             writes += 1
+        oversized = _oversized(key_id)
+        if hetero and topology.is_accel(topology.owner(slot)):
+            # demand-side fallback accounting: requests whose slot an
+            # accelerator owns but which only its backer can serve
+            if is_write:
+                hetero_counters["fallback_set"] += 1
+            elif oversized:
+                hetero_counters["fallback_oversized"] += 1
         # a write carries the value up; a read carries it back
         req_bytes = value_bytes if is_write else REQUEST_HEADER_BYTES
         resp_bytes = REQUEST_HEADER_BYTES if is_write else value_bytes
@@ -631,7 +903,8 @@ def simulate_cluster(
         outcome = None
         for attempt in range(attempts):
             outcome = _attempt(client, slot, attempt_start, is_write,
-                               attempt == 0, req_bytes, resp_bytes)
+                               attempt == 0, req_bytes, resp_bytes,
+                               key_id=key_id, oversized=oversized)
             if outcome is not None:
                 break
             # the attempt died against an unreachable node: the client
@@ -657,7 +930,15 @@ def simulate_cluster(
         delivery, serve_node, served_via_ask, hedged = outcome
         server = servers[serve_node]
         if not served_via_ask and not hedged:
-            client.on_served(slot, serve_node)
+            learn = serve_node
+            if hetero:
+                owner = topology.owner(slot)
+                if topology.is_accel(owner):
+                    # even when this request fell back to the backer,
+                    # the route to learn is the accelerator: the next
+                    # GET must try the fast path first
+                    learn = owner
+            client.on_served(slot, learn)
 
         if is_write:
             # the primary acks and synchronously replicates to the
@@ -671,6 +952,13 @@ def simulate_cluster(
                 record.holders = holders
                 record.had_replica = len(holders) > 1
             acked_writes += 1
+            if hetero:
+                owner = topology.owner(slot)
+                srv = servers[owner]
+                if isinstance(srv, _AccelServer):
+                    # write-invalidation: the acked value supersedes
+                    # whatever copy the accelerator still serves
+                    srv.invalidate(delivery, key_bytes(key_id))
         else:
             record = acked.get(key_id)
             if record is not None and serve_node not in record.holders:
@@ -711,7 +999,7 @@ def simulate_cluster(
     per_node = []
     for i, server in enumerate(servers):
         merged.merge(server.histogram)
-        per_node.append({
+        entry = {
             "node": i,
             "closed_loop_throughput": node_capacities[i],
             "requests": server.served,
@@ -719,7 +1007,10 @@ def simulate_cluster(
                               if last_delivery else 0.0),
             "mean_latency": (server.latency_sum / server.served
                              if server.served else 0.0),
-        })
+        }
+        if hetero:
+            entry["node_class"] = topology.node_class_of(i)
+        per_node.append(entry)
     merged.merge(failed_hist)
     if merged.count != count:
         raise ClusterError(
@@ -740,6 +1031,38 @@ def simulate_cluster(
             "hedges": counters["hedges"],
             "hedge_wins": counters["hedge_wins"],
         }
+    hetero_report = None
+    if hetero:
+        cost_units = fleet_cost(node_classes)
+        achieved = count / last_delivery if last_delivery else 0.0
+        accel_gets = hetero_counters["accel_gets"]
+        fallbacks = {
+            "capacity": hetero_counters["fallback_capacity"],
+            "set": hetero_counters["fallback_set"],
+            "oversized": hetero_counters["fallback_oversized"],
+        }
+        hetero_report = {
+            "node_types": format_node_types(node_classes),
+            "node_classes": list(node_classes),
+            "fleet_cost_units": cost_units,
+            "accel_keys": accel_keys,
+            "big_key_fraction": big_fraction,
+            "accel_gets": accel_gets,
+            "accel_hits": hetero_counters["accel_hits"],
+            "accel_hit_fraction": (hetero_counters["accel_hits"]
+                                   / accel_gets if accel_gets else 0.0),
+            "fallbacks": fallbacks,
+            "fallback_rate": (sum(fallbacks.values()) / count
+                              if count else 0.0),
+            "cap_reroutes": sum(c.cap_reroutes for c in clients),
+            "capability_checks": hetero_counters["capability_checks"],
+            "capability_violations": capability_violations,
+            "cost_normalized_throughput": (achieved / cost_units
+                                           if cost_units else 0.0),
+            "per_accel": [s.report() for s in servers
+                          if isinstance(s, _AccelServer)],
+        }
+
     failover_report = None
     if failover is not None:
         failover_report = {
@@ -788,11 +1111,17 @@ def simulate_cluster(
         eager_repairs=counters["eager_repairs"],
         resilience=resilience,
         failover=failover_report,
+        hetero=hetero_report,
     )
     if oracle_violations:
         raise ClusterError(
             f"cluster routing oracle: {oracle_violations} request(s) "
             f"served by a node without authority over the slot")
+    if capability_violations:
+        raise HeteroError(
+            f"capability oracle: {capability_violations} ineligible "
+            f"request(s) reached an accelerator node (writes and "
+            f"oversized keys must be dispatched to the backer)")
     if failover_violations:
         raise FailoverError(
             f"failover oracle: {failover_violations} acknowledged "
@@ -836,6 +1165,9 @@ def _node_config(config, node: int):
         cluster_timeout=None,
         cluster_retries=defaults.cluster_retries,
         cluster_hedge=None,
+        node_types=None,
+        hetero_accel_keys=None,
+        hetero_big_key_fraction=0.0,
         seed=seed,
     )
 
@@ -859,7 +1191,21 @@ def run_cluster(config):
     per_node_results = []
     capacities: List[float] = []
     captures: List[Sequence[Sequence[int]]] = []
+    hetero_classes = (config.node_classes if config.hetero_enabled
+                      else None)
     for node in range(config.nodes):
+        if hetero_classes is not None \
+                and hetero_classes[node] == NODE_CLASS_ACCEL:
+            # accelerator nodes run no software engine: their
+            # closed-loop capacity is the lookup pipeline's initiation
+            # interval for a canonical resident GET, and they
+            # contribute no op-cycle captures
+            capacities.append(
+                1.0 if config.exec_mode == "untimed"
+                else 1.0 / lookup_interval_cycles(CANON_KEY_BYTES,
+                                                  config.value_size))
+            captures.append(())
+            continue
         engine = Engine(_node_config(config, node))
         mc = MultiCoreEngine(engine, capture_op_cycles=True)
         outcome = mc.run()

@@ -46,8 +46,19 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import ClusterError
+from ..errors import ClusterError, HeteroError
 from ..hashes.registry import get_hash
+from ..hetero.capability import (
+    NodeCapability,
+    accel_capability,
+    full_capability,
+)
+from ..hetero.fleet import (
+    NODE_CLASS_ACCEL,
+    NODE_CLASS_FULL,
+    NODE_CLASSES,
+    slot_weight,
+)
 
 __all__ = ["NUM_SLOTS", "ClusterTopology", "slot_for_key"]
 
@@ -66,7 +77,9 @@ class ClusterTopology:
     """Slot-to-node assignment with replicas and minimal-remap moves."""
 
     def __init__(self, num_nodes: int, replicas: int = 0,
-                 num_slots: int = NUM_SLOTS) -> None:
+                 num_slots: int = NUM_SLOTS,
+                 node_classes: Optional[Sequence[str]] = None,
+                 accel_keys: Optional[int] = None) -> None:
         if num_nodes < 1:
             raise ClusterError("a cluster needs at least one node")
         if not 0 <= replicas < num_nodes:
@@ -77,17 +90,63 @@ class ClusterTopology:
             raise ClusterError("need at least one slot per node")
         self.num_slots = num_slots
         self.replicas = replicas
+        #: node id -> node class; nodes absent from the dict (joiners)
+        #: are full.  ``hetero`` is latched at construction: joiners
+        #: are always full nodes, so a homogeneous fleet stays on the
+        #: homogeneous code paths for its whole life.
+        self.node_class: Dict[int, str] = {}
+        self.hetero = False
+        self._accel_keys = accel_keys
+        if node_classes is not None:
+            if len(node_classes) != num_nodes:
+                raise HeteroError(
+                    f"node-types spec names {len(node_classes)} "
+                    f"node(s) but the cluster has {num_nodes}")
+            for node, cls in enumerate(node_classes):
+                if cls not in NODE_CLASSES:
+                    raise HeteroError(
+                        f"unknown node class {cls!r} for node {node}")
+                self.node_class[node] = cls
+            self.hetero = NODE_CLASS_ACCEL in self.node_class.values()
+            num_full = sum(1 for cls in self.node_class.values()
+                           if cls == NODE_CLASS_FULL)
+            if num_full == 0:
+                raise HeteroError(
+                    "a fleet needs at least one full node; "
+                    "accelerators are GET-only")
+            if self.hetero and replicas >= num_full:
+                raise HeteroError(
+                    f"{replicas} replica(s) per slot need at least "
+                    f"{replicas + 1} full nodes (replicas are durable "
+                    f"copies, so only full nodes hold them); the "
+                    f"fleet has {num_full}")
         #: sorted active node ids (the replica-placement ring)
         self.node_ids: List[int] = list(range(num_nodes))
         #: slot index -> owning (primary) node id
         self.slot_owner: List[int] = [0] * num_slots
         # balanced contiguous ranges, Redis Cluster's default layout:
-        # node i owns slots [i * S / N, (i + 1) * S / N)
-        for i in range(num_nodes):
-            lo = i * num_slots // num_nodes
-            hi = (i + 1) * num_slots // num_nodes
-            for slot in range(lo, hi):
-                self.slot_owner[slot] = i
+        # node i owns slots [i * S / N, (i + 1) * S / N).  A mixed
+        # fleet sizes the ranges by capability instead — an accelerator
+        # node takes slot_weight() shares per full-node share, like
+        # weighted shards in a production cluster — leaving the full
+        # backers the slot headroom to absorb fallback traffic.
+        if self.hetero:
+            weights = [slot_weight(self.node_class_of(i))
+                       for i in range(num_nodes)]
+            total = sum(weights)
+            lo, acc = 0, 0
+            for i in range(num_nodes):
+                acc += weights[i]
+                hi = acc * num_slots // total
+                for slot in range(lo, hi):
+                    self.slot_owner[slot] = i
+                lo = hi
+        else:
+            for i in range(num_nodes):
+                lo = i * num_slots // num_nodes
+                hi = (i + 1) * num_slots // num_nodes
+                for slot in range(lo, hi):
+                    self.slot_owner[slot] = i
         self._next_id = num_nodes
         #: per-slot ownership generation: bumped on every owner change
         #: (join steal, leave redistribution, migration commit, crash
@@ -122,23 +181,96 @@ class ClusterTopology:
         """The highest slot epoch (how churned the config ever got)."""
         return max(self.slot_epoch)
 
+    def node_class_of(self, node: int) -> str:
+        """The class of ``node`` (joiners default to full)."""
+        return self.node_class.get(node, NODE_CLASS_FULL)
+
+    def is_accel(self, node: int) -> bool:
+        """Whether ``node`` is a lookup-accelerator node."""
+        return self.node_class_of(node) == NODE_CLASS_ACCEL
+
+    def full_nodes(self) -> List[int]:
+        """The *active* full-class node ids, ascending."""
+        return [n for n in self.node_ids if not self.is_accel(n)]
+
+    def capability_of(self, node: int) -> NodeCapability:
+        """The capability descriptor ``node`` advertises to dispatch."""
+        if self.is_accel(node):
+            if self._accel_keys is not None:
+                return accel_capability(self._accel_keys)
+            return accel_capability()
+        return full_capability()
+
+    def backer_of(self, slot: int) -> int:
+        """The full node holding ``slot``'s authoritative data.
+
+        A full primary backs itself; an accelerator primary is a read
+        cache whose slot is backed by a full node picked by slot index
+        over the active full set — deterministic, and spreading each
+        accelerator's fallback traffic (writes, oversized keys,
+        capacity misses) evenly across every full node instead of
+        hot-spotting one ring successor.  When a full node crashes the
+        spread recomputes over the survivors.
+        """
+        owner = self.slot_owner[slot]
+        if not self.is_accel(owner):
+            return owner
+        full = self.full_nodes()
+        if not full:
+            raise HeteroError(
+                f"slot {slot} has no full-class backer: every "
+                f"surviving node is an accelerator")
+        return full[slot % len(full)]
+
+    def write_authority(self, slot: int) -> int:
+        """The single node a write of ``slot`` must be served by."""
+        return self.backer_of(slot)
+
     def replicas_of(self, slot: int) -> Tuple[int, ...]:
         """The replica nodes of ``slot``: the ring successors of its
         primary, in ring order (empty for a replica-less cluster).
         After crashes have shrunk the ring below ``replicas + 1``
         members the surviving successors are returned (never the
-        primary itself, never a duplicate)."""
+        primary itself, never a duplicate).  In a heterogeneous fleet
+        replicas are durable copies, so accelerator nodes are skipped:
+        the successors are the next ``replicas`` *full* nodes."""
         if not self.replicas:
             return ()
         ring = self.node_ids
         start = ring.index(self.slot_owner[slot])
         n = len(ring)
-        return tuple(ring[(start + k) % n]
-                     for k in range(1, min(self.replicas, n - 1) + 1))
+        if not self.hetero:
+            return tuple(ring[(start + k) % n]
+                         for k in range(1, min(self.replicas, n - 1) + 1))
+        out: List[int] = []
+        for k in range(1, n):
+            node = ring[(start + k) % n]
+            if not self.is_accel(node):
+                out.append(node)
+                if len(out) == self.replicas:
+                    break
+        return tuple(out)
 
     def read_set(self, slot: int) -> Tuple[int, ...]:
-        """Every node a read of ``slot`` may legally be served from."""
-        return (self.slot_owner[slot],) + self.replicas_of(slot)
+        """Every node a read of ``slot`` may legally be served from.
+
+        In a heterogeneous fleet the slot's full-class backer is
+        always readable (it holds the authoritative data an
+        accelerator primary only caches)."""
+        base = (self.slot_owner[slot],) + self.replicas_of(slot)
+        if self.hetero:
+            backer = self.backer_of(slot)
+            if backer not in base:
+                base = base + (backer,)
+        return base
+
+    def durable_set(self, slot: int) -> Set[int]:
+        """The nodes holding a *durable* copy of ``slot``'s data: the
+        write authority plus the (full-class) replicas.  For a
+        homogeneous fleet this equals ``set(read_set(slot))``; for a
+        mixed one it excludes accelerator primaries, whose on-chip
+        memory is a cache, never a copy of record."""
+        return {self.write_authority(slot)} | set(self.replicas_of(slot))
 
     def slots_of(self, node: int) -> List[int]:
         """All slots whose primary is ``node`` (ascending)."""
@@ -262,10 +394,21 @@ class ClusterTopology:
         counts.pop(node, None)
         self.node_ids.remove(node)
         self.down_nodes.add(node)
+        if self.hetero and not self.full_nodes():
+            raise HeteroError(
+                f"crashing node {node} leaves no full node: an "
+                f"all-accelerator fleet cannot serve writes")
         for slot in orphans:
             candidates = [n for n in heirs_of.get(slot, ())
                           if n in counts]
-            pool = candidates or self.node_ids
+            # a promotion makes the heir the slot's primary for SETs
+            # too, so in a mixed fleet it must land on a full node —
+            # never another accelerator (replica heirs already are
+            # full-class; the replica-less fallback pool must match)
+            if self.hetero:
+                pool = candidates or self.full_nodes()
+            else:
+                pool = candidates or self.node_ids
             heir = min(pool, key=lambda n: (counts[n], n))
             self._assign(slot, heir)
             counts[heir] += 1

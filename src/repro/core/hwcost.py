@@ -116,6 +116,30 @@ def revelator_cost() -> HardwareCostReport:
     )
 
 
+def kv_accel_cost(capacity_keys: int = 4096,
+                  key_limit_bytes: int = 255) -> HardwareCostReport:
+    """Table-I-style budget of one KV-lookup accelerator node
+    (:mod:`repro.hetero`): the fixed-capacity on-chip key store plus
+    the lookup pipeline's control state.
+
+    * two frozen 256-entry Pearson permutation tables (dual hash);
+    * the key store: per slot a valid bit, an 8-bit key length (the
+      255-byte wire limit), and the key bytes themselves;
+    * value *descriptors*, not values: ASSOCIATE binds an address and
+      length in node memory, so each slot carries one PA + 32-bit len;
+    * mode/control register (read/write mode, drain state).
+    """
+    slot_bits = 1 + 8 + key_limit_bytes * 8
+    return HardwareCostReport(
+        components={
+            "Pearson hash tables": 2 * 256 * 8,
+            "Key store": capacity_keys * slot_bits,
+            "Value descriptors": capacity_keys * (PA_BITS + 32),
+            "Mode/control": 64,
+        }
+    )
+
+
 def accel_hardware_cost(accel: str, *, accel_rows: int = 4096,
                         accel_ways: int = 4,
                         l2_lines: int = 4096,

@@ -33,6 +33,7 @@ from .reporting import (
     churn_table,
     cluster_table,
     failover_table,
+    hetero_table,
     latency_table,
     max_rate_under_slo,
     metrics_from_record,
@@ -79,6 +80,7 @@ __all__ = [
     "cluster_table",
     "failover_table",
     "get_sweep",
+    "hetero_table",
     "latency_table",
     "make_record",
     "max_rate_under_slo",

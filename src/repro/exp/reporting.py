@@ -23,7 +23,7 @@ from ..svc.histogram import LatencyHistogram
 __all__ = ["metrics_from_record", "summary_table", "speedup_table",
            "scaling_table", "latency_table", "max_rate_under_slo",
            "churn_table", "cluster_table", "accel_table",
-           "failover_table", "sweep_summary"]
+           "failover_table", "hetero_table", "sweep_summary"]
 
 
 def metrics_from_record(record: dict) -> dict:
@@ -107,6 +107,19 @@ def metrics_from_record(record: dict) -> dict:
                                               "promotions"),
         "post_promotion_moved": _cluster_field(result, "failover",
                                                "post_promotion_moved"),
+        # heterogeneous fleets (repro.hetero): None for homogeneous
+        # runs, so the dict shape stays uniform across sweeps
+        "node_types": _cluster_field(result, "hetero", "node_types"),
+        "fleet_cost_units": _cluster_field(result, "hetero",
+                                           "fleet_cost_units"),
+        "accel_hit_fraction": _cluster_field(result, "hetero",
+                                             "accel_hit_fraction"),
+        "hetero_fallback_rate": _cluster_field(result, "hetero",
+                                               "fallback_rate"),
+        "cost_normalized_throughput": _cluster_field(
+            result, "hetero", "cost_normalized_throughput"),
+        "capability_violations": _cluster_field(result, "hetero",
+                                                "capability_violations"),
         # translation-accel lab (repro.accel): the backend's telemetry
         # dict, or None for unaccelerated runs
         "accel": result.accel,
@@ -659,6 +672,86 @@ def failover_table(records: Iterable[dict]) -> str:
         mean = sum(deltas) / len(deltas)
         table += (f"\nlazy->eager p99 delta: {mean:+.1%} "
                   f"(mean over {len(deltas)} seed(s) with both policies)")
+    return table
+
+
+def hetero_table(records: Iterable[dict]) -> str:
+    """Heterogeneous-fleet economics: mixed vs homogeneous fleets.
+
+    Groups cluster records by (program, seed); within each group the
+    homogeneous run (no ``hetero`` payload) anchors the reference
+    throughput, and every mixed run becomes a row:
+
+    * **hit frac** — accelerator-eligible GETs served on-chip (the
+      accelerator's own cache economics);
+    * **fallback** — requests an accelerator-owned slot pushed to the
+      full-class backer (capacity miss, SET, oversized key);
+    * **speedup** — mixed achieved throughput over the homogeneous
+      run's, at *equal node count* (substitution, not extra hardware);
+    * **cost-norm** — the same ratio after dividing each side by its
+      fleet cost (an accelerator node costs 0.25 full-node units) —
+      the headline economics the hetero benchmark pins a floor under;
+    * **capab.** — the capability oracle's verdict: a violation would
+      have raised :class:`~repro.errors.HeteroError` at run time and
+      is re-surfaced loudly from archived records.
+    """
+    by_group: Dict[Tuple, dict] = {}
+    for record in records:
+        cluster = record.get("result", {}).get("cluster")
+        if not cluster:
+            continue
+        config = record.get("config", {})
+        key = (config.get("program"), config.get("seed"))
+        group = by_group.setdefault(key, {"homog": None, "mixed": []})
+        if cluster.get("hetero"):
+            group["mixed"].append(cluster)
+        else:
+            group["homog"] = cluster
+    if not any(group["mixed"] for group in by_group.values()):
+        return "(no hetero records)"
+
+    rows: List[List[str]] = []
+    raw_ratios: List[float] = []
+    cost_ratios: List[float] = []
+    for key in sorted(by_group, key=repr):
+        group = by_group[key]
+        homog = group["homog"]
+        base_tp = homog["achieved_throughput"] if homog else None
+        base_cost = float(homog["nodes"]) if homog else None
+        for cluster in group["mixed"]:
+            hetero = cluster["hetero"]
+            tp = cluster["achieved_throughput"]
+            cost_tp = hetero.get("cost_normalized_throughput", 0.0)
+            raw = tp / base_tp if base_tp else None
+            cost = (cost_tp / (base_tp / base_cost)
+                    if base_tp and base_cost else None)
+            if raw is not None:
+                raw_ratios.append(raw)
+            if cost is not None:
+                cost_ratios.append(cost)
+            violations = hetero.get("capability_violations", 0)
+            rows.append([
+                str(key[0]),
+                str(key[1]),
+                str(hetero.get("node_types")),
+                f"{hetero.get('fleet_cost_units', 0.0):g}",
+                f"{tp:.5f}",
+                f"{hetero.get('accel_hit_fraction', 0.0):.1%}",
+                f"{hetero.get('fallback_rate', 0.0):.1%}",
+                f"{raw:.2f}x" if raw is not None else "-",
+                f"{cost:.2f}x" if cost is not None else "-",
+                "OK" if not violations else f"{violations} VIOLATIONS",
+            ])
+    table = format_table(
+        ["program", "seed", "fleet", "cost", "achieved", "hit frac",
+         "fallback", "speedup", "cost-norm", "capab."],
+        rows)
+    if cost_ratios:
+        raw_mean = sum(raw_ratios) / len(raw_ratios)
+        cost_mean = sum(cost_ratios) / len(cost_ratios)
+        table += (f"\nmixed vs homogeneous: {raw_mean:.2f}x raw, "
+                  f"{cost_mean:.2f}x cost-normalized "
+                  f"(mean over {len(cost_ratios)} pairing(s))")
     return table
 
 

@@ -44,6 +44,8 @@ __all__ = [
     "CORE_SWEEP_COUNTS",
     "FAILOVER_SWEEP_PLAN",
     "FAILOVER_SWEEP_SEEDS",
+    "HETERO_SWEEP_FLEETS",
+    "HETERO_SWEEP_SEEDS",
     "LOAD_SWEEP_LOADS",
     "SIZE_SWEEP_RATIOS",
 ]
@@ -522,6 +524,46 @@ def _accel_points() -> List[SweepPoint]:
     return spec.expand()
 
 
+#: fleet mixes of the ``hetero`` sweep: the homogeneous reference and
+#: the mixed fleet at the *same node count*, so the comparison is
+#: accelerator-vs-full substitution, never extra hardware
+HETERO_SWEEP_FLEETS: Tuple[str, ...] = ("3full", "2full+1accel")
+
+#: seeds of the hetero sweep (dispatch determinism and the capability
+#: oracle are re-proven per seed)
+HETERO_SWEEP_SEEDS: Tuple[int, ...] = (1, 2, 3)
+
+
+def _hetero_points() -> List[SweepPoint]:
+    """Heterogeneous fleets: homogeneous vs mixed at equal node count.
+
+    Two points per seed: an all-full 3-node fleet (which takes the
+    exact pre-hetero code paths — ``node_types="3full"`` is pinned
+    bit-identical to no spec at all) and a 2full+1accel fleet where
+    the accelerator owns a third of the keyspace behind capability
+    -aware dispatch.  Small keys and a GET-heavy zipf mix keep most
+    traffic accelerator-eligible; the saturating offered load makes
+    achieved throughput track fleet capacity, so the reporting layer
+    reads the mixed/homogeneous ratio directly as speedup — raw and
+    cost-normalized (an accel node costs 0.25 full-node units)
+    (:func:`repro.exp.reporting.hetero_table`).  The capability oracle
+    is armed in every run: any write or oversized-key GET served by an
+    accelerator raises ``HeteroError`` and fails the sweep.
+    """
+    import os
+    num_keys = int(os.environ.get("REPRO_BENCH_KEYS", "8000"))
+    measure_ops = int(os.environ.get("REPRO_BENCH_OPS", "1500"))
+    spec = SweepSpec(
+        name="hetero",
+        base=dict(num_keys=num_keys, measure_ops=measure_ops,
+                  frontend="stlt", num_cores=2, offered_load=2.0,
+                  nodes=3, replicas=1, net_rtt_cycles=300.0),
+        grid={"seed": list(HETERO_SWEEP_SEEDS)},
+        zipped={"node_types": list(HETERO_SWEEP_FLEETS)},
+    )
+    return spec.expand()
+
+
 #: named campaigns runnable as ``repro sweep <name>``; each entry is
 #: (point factory, one-line description for ``repro sweep --list``)
 _BUILTIN: Dict[str, Tuple[Callable[[], List[SweepPoint]], str]] = {
@@ -557,6 +599,10 @@ _BUILTIN: Dict[str, Tuple[Callable[[], List[SweepPoint]], str]] = {
         _accel_points,
         "translation-accel head-to-head: baseline vs stlt/victima/"
         "pcax/revelator"),
+    "hetero": (
+        _hetero_points,
+        "heterogeneous fleets: mixed full+accel vs homogeneous at "
+        "equal node count, capability oracle armed"),
 }
 
 

@@ -1,0 +1,217 @@
+"""The standalone KV-lookup accelerator node model.
+
+This is the hwkvstore/McAccel pipeline (SNIPPETS.md Snippets 1-3)
+lifted from a per-core RoCC front-end to a *node class*: a Pearson
+dual-hashed on-chip key memory in front of an on-chip value store,
+controlled by explicit management instructions and split into two
+modes —
+
+* **read mode** serves lookups: stream the key through the two hash
+  units (one byte per cycle), probe both candidate slots, compare the
+  stored key, stream the value out by words;
+* **write mode** is required for every management instruction —
+  ``reserve key`` (claims a slot; the key length rides in one byte, so
+  keys are capped at :data:`KEY_LIMIT_BYTES`), ``associate address``,
+  ``associate length``, ``write value`` (one word per cycle), and
+  ``delete key``.
+
+Switching modes drains the pipeline
+(:data:`MODE_SWITCH_DRAIN_CYCLES`): in-flight lookups must retire
+before the key memory may be mutated, which is exactly why dispatch
+batches installs behind the serving path instead of interleaving them.
+
+The model here is split in two: :class:`AccelNodeModel` is the pure
+*state* machine (which keys are resident — a function of the
+install/evict sequence only, thanks to the frozen Pearson tables), and
+the module-level ``*_cycles`` helpers are the *cost* model the service
+layer charges against the accelerator's single in-order pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import HeteroError
+from .pearson import dual_hash
+
+__all__ = [
+    "DEFAULT_ACCEL_KEYS",
+    "KEY_LIMIT_BYTES",
+    "VALUE_LIMIT_BYTES",
+    "WORD_BYTES",
+    "MODE_SWITCH_DRAIN_CYCLES",
+    "ASSOCIATE_CYCLES",
+    "WRITE_VALUE_CYCLES_PER_WORD",
+    "LOOKUP_BASE_CYCLES",
+    "AccelNodeModel",
+    "delete_cycles",
+    "install_cycles",
+    "lookup_interval_cycles",
+    "lookup_latency_cycles",
+    "reserve_cycles",
+    "value_words",
+]
+
+#: the reserve instruction carries the key length in its operand's low
+#: byte: keys above 255 bytes cannot even be *described* to the engine
+KEY_LIMIT_BYTES = 255
+
+#: on-chip value store line: one value slot (bytes)
+VALUE_LIMIT_BYTES = 4096
+
+#: default key-memory capacity (entries); a power of two so the dual
+#: hash masks rather than divides
+DEFAULT_ACCEL_KEYS = 4096
+
+#: the value path moves one 64-bit word per cycle
+WORD_BYTES = 8
+
+#: pipeline stages to drain when flipping read <-> write mode
+MODE_SWITCH_DRAIN_CYCLES = 8
+
+#: fixed pipeline depth of a lookup beyond the byte-serial hash walk
+#: (slot probe, key compare kick-off, value-path setup)
+LOOKUP_BASE_CYCLES = 4
+
+#: associate-address / associate-length are single register writes
+ASSOCIATE_CYCLES = 1
+
+#: write value streams one word per cycle into the value store
+WRITE_VALUE_CYCLES_PER_WORD = 1
+
+
+def value_words(value_bytes: int) -> int:
+    """Words the value path moves for a ``value_bytes`` value."""
+    return max(1, (value_bytes + WORD_BYTES - 1) // WORD_BYTES)
+
+
+def reserve_cycles(key_len: int) -> int:
+    """Reserve-key cost: hash the key byte-serially, claim the slot."""
+    return key_len + 2
+
+
+def delete_cycles(key_len: int) -> int:
+    """Delete-key cost: hash, probe both candidates, clear."""
+    return key_len + 2
+
+
+def install_cycles(key_len: int, value_bytes: int,
+                   evicted_key_len: int = 0) -> int:
+    """Full management sequence to install one key/value pair.
+
+    Reserve + associate address + associate length + write value; an
+    eviction pays an explicit delete of the displaced key first.
+    """
+    cycles = (reserve_cycles(key_len) + 2 * ASSOCIATE_CYCLES
+              + value_words(value_bytes) * WRITE_VALUE_CYCLES_PER_WORD)
+    if evicted_key_len:
+        cycles += delete_cycles(evicted_key_len)
+    return cycles
+
+
+def lookup_latency_cycles(key_len: int, value_bytes: int) -> int:
+    """Cycles from lookup issue to last value word out (one request)."""
+    return key_len + LOOKUP_BASE_CYCLES + value_words(value_bytes)
+
+
+def lookup_interval_cycles(key_len: int, value_bytes: int) -> int:
+    """Pipeline initiation interval between back-to-back lookups.
+
+    The hash units consume one key byte per cycle and the value path
+    one word per cycle; whichever streams longer gates the next issue.
+    """
+    return max(key_len, value_words(value_bytes))
+
+
+class AccelNodeModel:
+    """Residency state of one accelerator's on-chip key memory.
+
+    Placement is two-way by the frozen Pearson dual hash: install into
+    the first empty candidate slot, else deterministically evict the
+    first candidate's occupant.  All tie-breaks are fixed, so residency
+    is a pure function of the install/delete sequence.
+    """
+
+    def __init__(self, capacity_keys: int = DEFAULT_ACCEL_KEYS) -> None:
+        if capacity_keys < 2 or capacity_keys & (capacity_keys - 1):
+            raise HeteroError(
+                f"accelerator key capacity must be a power of two "
+                f">= 2, got {capacity_keys}")
+        self.capacity_keys = capacity_keys
+        #: hash slot -> resident key
+        self._slot_key: Dict[int, bytes] = {}
+        #: resident key -> hash slot
+        self._key_slot: Dict[bytes, int] = {}
+        # -- telemetry ------------------------------------------------
+        self.installs = 0
+        self.evictions = 0
+        self.deletes = 0
+
+    def __len__(self) -> int:
+        return len(self._key_slot)
+
+    def _check_key(self, key: bytes) -> None:
+        if not key:
+            raise HeteroError("accelerator cannot store an empty key")
+        if len(key) > KEY_LIMIT_BYTES:
+            raise HeteroError(
+                f"key of {len(key)} bytes exceeds the accelerator's "
+                f"{KEY_LIMIT_BYTES}-byte limit")
+
+    def resident(self, key: bytes) -> bool:
+        """Whether ``key`` is currently held in the key memory."""
+        return key in self._key_slot
+
+    def candidate_slots(self, key: bytes) -> Tuple[int, int]:
+        """The key's two Pearson candidate slots."""
+        self._check_key(key)
+        return dual_hash(key, self.capacity_keys)
+
+    def install(self, key: bytes) -> Optional[bytes]:
+        """Install ``key``; returns the evicted key, if any.
+
+        First empty candidate wins; a full pair evicts the first
+        candidate's occupant.  Re-installing a resident key is a no-op
+        refresh (returns None).
+        """
+        self._check_key(key)
+        if key in self._key_slot:
+            return None
+        h1, h2 = dual_hash(key, self.capacity_keys)
+        evicted: Optional[bytes] = None
+        if h1 not in self._slot_key:
+            slot = h1
+        elif h2 not in self._slot_key:
+            slot = h2
+        else:
+            slot = h1
+            evicted = self._slot_key[slot]
+            del self._key_slot[evicted]
+            self.evictions += 1
+        self._slot_key[slot] = key
+        self._key_slot[key] = slot
+        self.installs += 1
+        return evicted
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key`` (write invalidation); True if it was held."""
+        slot = self._key_slot.pop(key, None)
+        if slot is None:
+            return False
+        del self._slot_key[slot]
+        self.deletes += 1
+        return True
+
+    def reset(self) -> None:
+        """Crash/restart: the on-chip memory comes back empty."""
+        self._slot_key.clear()
+        self._key_slot.clear()
+
+    def report(self) -> dict:
+        return {
+            "capacity_keys": self.capacity_keys,
+            "resident_keys": len(self._key_slot),
+            "installs": self.installs,
+            "evictions": self.evictions,
+            "deletes": self.deletes,
+        }

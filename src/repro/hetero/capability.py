@@ -1,0 +1,115 @@
+"""Per-node capability descriptors for heterogeneous fleets.
+
+A homogeneous cluster never has to ask what a node *can* do; a
+heterogeneous one must, before every send.  A
+:class:`NodeCapability` is the contract a node class advertises to the
+dispatch layer: which operations it serves, how large a key and value
+it accepts, how many keys its memory holds, and what it costs relative
+to a full node.  :class:`~repro.cluster.topology.ClusterTopology`
+surfaces one descriptor per node; capability-aware dispatch
+(:mod:`repro.cluster.service`) consults them to keep ineligible
+traffic — writes, oversized keys — off accelerator nodes, and the
+capability oracle raises :class:`~repro.errors.HeteroError` if a
+request is ever *served* by a node whose descriptor forbids it.
+
+Cost units are the currency of the asymmetric-scaling argument: a
+lookup accelerator is a hash pipeline plus a fixed SRAM, a sliver of a
+full node's silicon and DRAM, so a fleet's cost is the sum of its
+members' units and throughput is compared *per unit*, not per node.
+:data:`ACCEL_NODE_COST_UNITS` is pinned from the Table-I-style budget
+in :func:`repro.core.hwcost.kv_accel_cost` (see DESIGN.md section 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .accel_node import DEFAULT_ACCEL_KEYS, KEY_LIMIT_BYTES, VALUE_LIMIT_BYTES
+
+__all__ = [
+    "ACCEL_NODE_COST_UNITS",
+    "FULL_NODE_COST_UNITS",
+    "OP_GET",
+    "OP_SET",
+    "NodeCapability",
+    "accel_capability",
+    "full_capability",
+]
+
+OP_GET = "get"
+OP_SET = "set"
+
+#: a full Redis-model node is the cost baseline
+FULL_NODE_COST_UNITS = 1.0
+
+#: relative cost of a lookup-accelerator node: the budget in
+#: :func:`repro.core.hwcost.kv_accel_cost` is dominated by the on-chip
+#: key/value SRAM — a quarter of a full node's cost at the default
+#: 4096-entry capacity, with no DRAM, no cores, no kernel
+ACCEL_NODE_COST_UNITS = 0.25
+
+
+@dataclass(frozen=True)
+class NodeCapability:
+    """What one node class can serve, and at what relative cost."""
+
+    node_class: str
+    supported_ops: Tuple[str, ...]
+    #: largest key accepted, in bytes (None = unbounded)
+    max_key_bytes: Optional[int]
+    #: largest value accepted, in bytes (None = unbounded)
+    max_value_bytes: Optional[int]
+    #: on-chip key capacity (None = unbounded, i.e. backed by DRAM)
+    capacity_keys: Optional[int]
+    cost_units: float
+
+    def can_serve(self, op: str, key_bytes: int) -> bool:
+        """Whether this node class may serve ``op`` on a key of
+        ``key_bytes`` wire bytes (capacity misses are a *runtime*
+        fallback, not a capability refusal, so they are not judged
+        here)."""
+        if op not in self.supported_ops:
+            return False
+        if self.max_key_bytes is not None and key_bytes > self.max_key_bytes:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "node_class": self.node_class,
+            "supported_ops": list(self.supported_ops),
+            "max_key_bytes": self.max_key_bytes,
+            "max_value_bytes": self.max_value_bytes,
+            "capacity_keys": self.capacity_keys,
+            "cost_units": self.cost_units,
+        }
+
+
+def full_capability() -> NodeCapability:
+    """The descriptor of a full Redis-model node (serves everything)."""
+    return NodeCapability(
+        node_class="full",
+        supported_ops=(OP_GET, OP_SET),
+        max_key_bytes=None,
+        max_value_bytes=None,
+        capacity_keys=None,
+        cost_units=FULL_NODE_COST_UNITS,
+    )
+
+
+def accel_capability(
+        capacity_keys: int = DEFAULT_ACCEL_KEYS) -> NodeCapability:
+    """The descriptor of a KV-lookup accelerator node.
+
+    GET-only, 255-byte key limit (the reserve instruction carries the
+    length in one byte), fixed on-chip key capacity.
+    """
+    return NodeCapability(
+        node_class="accel",
+        supported_ops=(OP_GET,),
+        max_key_bytes=KEY_LIMIT_BYTES,
+        max_value_bytes=VALUE_LIMIT_BYTES,
+        capacity_keys=capacity_keys,
+        cost_units=ACCEL_NODE_COST_UNITS,
+    )

@@ -1,0 +1,95 @@
+"""Pearson dual hashing for the accelerator's on-chip key memory.
+
+The hwkvstore/McAccel lookup pipeline places keys in a fixed on-chip
+key memory addressed by **two** independent Pearson hashes: a key may
+live in either of its two candidate slots, so one colliding pair never
+evicts each other (a two-way cuckoo-style scheme without relocation).
+A Pearson hash is a byte-serial permutation walk —
+
+    h = T[(x[0] + j) & 0xff]
+    for i in 1 .. len(x) - 1:
+        h = T[h ^ x[i]]
+
+— one table read per key byte, which is why the hardware hashes a key
+in exactly ``len(key)`` cycles and why the key limit is 255 bytes (the
+length must fit one byte of the reserve instruction's operand).
+
+Hashes wider than 8 bits come from the standard Pearson widening: the
+``j`` offset above is the output byte index, so byte ``j`` of the wide
+hash is an independent walk seeded at ``x[0] + j``.  The permutation
+tables are **frozen**: generated once from pinned seeds, identical in
+every run and on every platform, so accelerator residency is a pure
+function of the install/evict sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+__all__ = [
+    "TABLE_SIZE",
+    "TABLE_1",
+    "TABLE_2",
+    "make_table",
+    "pearson_hash",
+    "dual_hash",
+]
+
+#: a Pearson table permutes one byte: 256 entries
+TABLE_SIZE = 256
+
+#: pinned generator seeds for the two frozen permutation tables; these
+#: are part of the model definition (like the hash registry's choice of
+#: xxh3), never derived from the run seed
+_TABLE_1_SEED = 0x9E3779B1
+_TABLE_2_SEED = 0x85EBCA77
+
+
+def make_table(seed: int) -> Tuple[int, ...]:
+    """A frozen 256-entry permutation table from a pinned ``seed``."""
+    table = list(range(TABLE_SIZE))
+    random.Random(seed).shuffle(table)
+    return tuple(table)
+
+
+TABLE_1 = make_table(_TABLE_1_SEED)
+TABLE_2 = make_table(_TABLE_2_SEED)
+
+
+def pearson_hash(data: bytes, table: Sequence[int] = TABLE_1,
+                 width_bits: int = 8) -> int:
+    """Pearson-hash ``data`` to ``width_bits`` bits via byte widening.
+
+    Output byte ``j`` is an independent permutation walk seeded at
+    ``(data[0] + j) & 0xff``; a partial top byte is masked down.
+    """
+    if not data:
+        raise ValueError("cannot Pearson-hash an empty key")
+    if width_bits < 1:
+        raise ValueError("hash width must be at least one bit")
+    num_bytes = (width_bits + 7) // 8
+    out = 0
+    for j in range(num_bytes):
+        h = table[(data[0] + j) & 0xFF]
+        for byte in data[1:]:
+            h = table[h ^ byte]
+        out |= h << (8 * j)
+    return out & ((1 << width_bits) - 1)
+
+
+def dual_hash(key: bytes, capacity: int) -> Tuple[int, int]:
+    """The key's two candidate slots in a ``capacity``-entry key memory.
+
+    ``capacity`` must be a power of two (the hardware masks, it never
+    divides).  The two slots come from the two frozen tables and may
+    coincide for unlucky keys — the key memory treats that as a single
+    candidate.
+    """
+    if capacity < 2 or capacity & (capacity - 1):
+        raise ValueError(
+            f"key-memory capacity must be a power of two >= 2, "
+            f"got {capacity}")
+    width = capacity.bit_length() - 1
+    return (pearson_hash(key, TABLE_1, width),
+            pearson_hash(key, TABLE_2, width))

@@ -16,7 +16,9 @@ from typing import Optional, Tuple
 
 from ..chaos.schedule import parse_fault
 from ..cluster.failover import parse_node_fault
-from ..errors import ConfigError, FaultInjectionError
+from ..errors import ConfigError, FaultInjectionError, HeteroError
+from ..hetero.accel_node import DEFAULT_ACCEL_KEYS
+from ..hetero.fleet import class_counts, has_accel, parse_node_types
 from ..params import SCALED_MACHINE, MachineParams, machine_from_dict
 
 PROGRAMS = ("redis", "unordered_map", "dense_hash_map", "ordered_map", "btree")
@@ -190,6 +192,21 @@ class RunConfig:
     #: the primary path is dead or slower than this; None disables
     #: cross-node hedging
     cluster_hedge: Optional[float] = None
+    #: cluster: heterogeneous fleet declaration in the repro.hetero
+    #: grammar, e.g. "4full+4accel" — one class per node id, expanded
+    #: in order.  None (or an all-full spec) keeps every node a full
+    #: Redis-model engine; parsed (and rejected) eagerly at config
+    #: time.  On a run that builds a fleet the spec's node count must
+    #: equal ``nodes``
+    node_types: Optional[str] = None
+    #: hetero: accelerator key-memory capacity in entries (a power of
+    #: two — the dual Pearson hash masks); None -> the model default
+    hetero_accel_keys: Optional[int] = None
+    #: hetero: fraction of the keyspace modeled as *oversized on the
+    #: wire* (above the accelerator's 255-byte key limit), marked
+    #: deterministically per key id; such GETs always fall back to the
+    #: slot's full-class backer.  Inert on homogeneous fleets
+    hetero_big_key_fraction: float = 0.0
     #: translation-acceleration backend (see ACCELS); orthogonal to
     #: ``frontend`` but only meaningful on the baseline frontend — the
     #: non-"none" backends replace (not stack on) the key-level fast
@@ -307,6 +324,32 @@ class RunConfig:
             raise ConfigError("cluster retries cannot be negative")
         if self.cluster_hedge is not None and self.cluster_hedge <= 0:
             raise ConfigError("cluster hedge delay must be positive")
+        if self.node_types is not None:
+            classes = parse_node_types(self.node_types)  # grammar fails
+            if self.cluster_enabled and len(classes) != self.nodes:
+                # on the plain single-node path the knob is inert; a
+                # run that builds a fleet needs the counts to agree
+                raise HeteroError(
+                    f"node-types spec {self.node_types!r} names "
+                    f"{len(classes)} node(s) but the run has "
+                    f"{self.nodes}")
+            if self.cluster_enabled and has_accel(classes):
+                num_full = class_counts(classes)["full"]
+                if self.replicas >= num_full:
+                    raise HeteroError(
+                        f"{self.replicas} replica(s) per slot need at "
+                        f"least {self.replicas + 1} full nodes (only "
+                        f"full nodes hold durable copies); "
+                        f"{self.node_types!r} has {num_full}")
+        if self.hetero_accel_keys is not None and (
+                self.hetero_accel_keys < 2
+                or self.hetero_accel_keys & (self.hetero_accel_keys - 1)):
+            raise ConfigError(
+                f"accelerator key capacity must be a power of two "
+                f">= 2, got {self.hetero_accel_keys}")
+        if not 0.0 <= self.hetero_big_key_fraction <= 1.0:
+            raise ConfigError(
+                "oversized-key fraction must be within [0, 1]")
         if self.accel not in ACCELS:
             raise ConfigError(
                 f"unknown accel {self.accel!r}; choose one of {ACCELS!r}")
@@ -414,6 +457,32 @@ class RunConfig:
         return self.nodes * self.num_cores * self.measure_ops
 
     @property
+    def node_classes(self) -> Optional[Tuple[str, ...]]:
+        """Parsed ``node_types`` classes (one per node id), or None
+        for a homogeneous default fleet."""
+        if self.node_types is None:
+            return None
+        return parse_node_types(self.node_types)
+
+    @property
+    def hetero_enabled(self) -> bool:
+        """Whether the run builds a mixed fleet with accelerator
+        nodes.  An all-full ``node_types`` spec stays on the
+        homogeneous code paths (pinned bit-identical by the golden
+        hetero tests)."""
+        classes = self.node_classes
+        return (self.cluster_enabled and classes is not None
+                and has_accel(classes))
+
+    @property
+    def effective_accel_keys(self) -> int:
+        """Accelerator key-memory entries: explicit, or the model
+        default."""
+        if self.hetero_accel_keys is not None:
+            return self.hetero_accel_keys
+        return DEFAULT_ACCEL_KEYS
+
+    @property
     def mitigation_enabled(self) -> bool:
         """Whether the open-loop service layer runs resilience logic."""
         return (self.svc_timeout is not None
@@ -514,6 +583,14 @@ class RunConfig:
             if self.cluster_timeout is not None \
                     or self.cluster_hedge is not None:
                 base = f"{base}+cmit"
+            if self.hetero_enabled:
+                # an all-full node_types spec deliberately leaves the
+                # label (and the result payload) untouched: it *is*
+                # the homogeneous run, bit for bit
+                counts = class_counts(self.node_classes)
+                base = f"{base}^{counts['full']}f{counts['accel']}a"
+                if self.hetero_big_key_fraction > 0.0:
+                    base = f"{base}~bk{self.hetero_big_key_fraction:g}"
         if self.exec_mode == "untimed":
             # timed modes share the label (their numbers are identical);
             # untimed results carry zero cycles and must not be mistaken

@@ -57,6 +57,9 @@ ALTERNATES = {
     "cluster_timeout": 10.0,
     "cluster_retries": 4,
     "cluster_hedge": 3.0,
+    "node_types": "1full",
+    "hetero_accel_keys": 2048,
+    "hetero_big_key_fraction": 0.25,
     "accel": "stlt",
     "accel_rows": 4096,
     "accel_ways": 8,

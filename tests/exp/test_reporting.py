@@ -40,6 +40,11 @@ EXPECTED_METRIC_KEYS = {
     "cluster_writes", "acked_writes", "acked_write_losses",
     "failover_violations", "cluster_failed_requests",
     "failover_promotions", "post_promotion_moved",
+    # heterogeneous-fleet telemetry (PR 10) — None for homogeneous
+    # records
+    "node_types", "fleet_cost_units", "accel_hit_fraction",
+    "hetero_fallback_rate", "cost_normalized_throughput",
+    "capability_violations",
 }
 
 

@@ -1,0 +1,136 @@
+"""Accelerator node model tests: residency, cost model, key limits."""
+
+import pytest
+
+from repro.errors import HeteroError
+from repro.hetero.accel_node import (
+    KEY_LIMIT_BYTES,
+    LOOKUP_BASE_CYCLES,
+    WORD_BYTES,
+    AccelNodeModel,
+    delete_cycles,
+    install_cycles,
+    lookup_interval_cycles,
+    lookup_latency_cycles,
+    reserve_cycles,
+    value_words,
+)
+
+
+class TestCostModel:
+    def test_hash_walk_is_byte_serial(self):
+        """A lookup's latency grows one cycle per key byte — the
+        Pearson walk reads one table entry per byte."""
+        base = lookup_latency_cycles(8, 64)
+        assert lookup_latency_cycles(9, 64) == base + 1
+
+    def test_value_streams_by_words(self):
+        assert value_words(64) == 8
+        assert value_words(65) == 9
+        assert value_words(1) == 1
+        assert value_words(0) == 1  # the reply always carries a word
+        assert lookup_latency_cycles(8, 64) == 8 + LOOKUP_BASE_CYCLES + 8
+
+    def test_initiation_interval_is_the_longer_stream(self):
+        """Back-to-back lookups are gated by whichever of the key walk
+        and the value stream runs longer."""
+        assert lookup_interval_cycles(24, 64) == 24
+        assert lookup_interval_cycles(8, 64 * WORD_BYTES) == 64
+        assert lookup_interval_cycles(24, 64) < lookup_latency_cycles(24, 64)
+
+    def test_install_sequence_cost(self):
+        """Reserve + two associates + value words; an eviction adds an
+        explicit delete of the displaced key."""
+        clean = install_cycles(16, 64)
+        assert clean == reserve_cycles(16) + 2 + value_words(64)
+        assert install_cycles(16, 64, evicted_key_len=10) == \
+            clean + delete_cycles(10)
+
+
+class TestResidency:
+    def test_install_then_resident(self):
+        model = AccelNodeModel(64)
+        assert not model.resident(b"alpha")
+        assert model.install(b"alpha") is None
+        assert model.resident(b"alpha")
+        assert len(model) == 1
+
+    def test_reinstall_is_a_refresh(self):
+        model = AccelNodeModel(64)
+        model.install(b"alpha")
+        assert model.install(b"alpha") is None
+        assert len(model) == 1
+        assert model.installs == 1  # a refresh mutates nothing
+
+    def test_delete_frees_the_slot(self):
+        model = AccelNodeModel(64)
+        model.install(b"alpha")
+        assert model.delete(b"alpha")
+        assert not model.resident(b"alpha")
+        assert not model.delete(b"alpha")  # second delete is a miss
+
+    def test_key_goes_to_a_candidate_slot(self):
+        model = AccelNodeModel(64)
+        model.install(b"alpha")
+        assert model._key_slot[b"alpha"] in model.candidate_slots(b"alpha")
+
+    def test_full_candidate_pair_evicts_deterministically(self):
+        """With both candidate slots taken, the first candidate's
+        occupant is evicted — same victim every run."""
+        a = AccelNodeModel(4)
+        b = AccelNodeModel(4)
+        keys = [f"key-{i}".encode() for i in range(32)]
+        evicted_a = [a.install(k) for k in keys]
+        evicted_b = [b.install(k) for k in keys]
+        assert evicted_a == evicted_b
+        assert a.evictions == b.evictions > 0
+        assert len(a) <= 4
+
+    def test_residency_is_a_pure_function_of_the_sequence(self):
+        a = AccelNodeModel(16)
+        b = AccelNodeModel(16)
+        for i in range(100):
+            key = f"key-{i % 23}".encode()
+            if i % 7 == 3:
+                a.delete(key)
+                b.delete(key)
+            else:
+                a.install(key)
+                b.install(key)
+        assert a._key_slot == b._key_slot
+
+    def test_reset_empties_the_memory(self):
+        model = AccelNodeModel(64)
+        for i in range(10):
+            model.install(f"key-{i}".encode())
+        model.reset()
+        assert len(model) == 0
+        assert not model.resident(b"key-3")
+
+
+class TestLimits:
+    def test_key_limit_byte(self):
+        """The reserve instruction carries the length in one byte:
+        255 is storable, 256 is not even describable."""
+        model = AccelNodeModel(64)
+        model.install(b"x" * KEY_LIMIT_BYTES)
+        with pytest.raises(HeteroError):
+            model.install(b"x" * (KEY_LIMIT_BYTES + 1))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(HeteroError):
+            AccelNodeModel(64).install(b"")
+
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(HeteroError):
+            AccelNodeModel(1000)
+        with pytest.raises(HeteroError):
+            AccelNodeModel(1)
+
+    def test_report_shape(self):
+        model = AccelNodeModel(64)
+        model.install(b"alpha")
+        report = model.report()
+        assert report["capacity_keys"] == 64
+        assert report["resident_keys"] == 1
+        assert report["installs"] == 1

@@ -1,0 +1,80 @@
+"""Pearson dual-hash tests: frozen tables, widening, slot mapping."""
+
+import pytest
+
+from repro.hetero.pearson import (
+    TABLE_1,
+    TABLE_2,
+    TABLE_SIZE,
+    dual_hash,
+    make_table,
+    pearson_hash,
+)
+
+
+class TestTables:
+    def test_tables_are_permutations(self):
+        assert sorted(TABLE_1) == list(range(TABLE_SIZE))
+        assert sorted(TABLE_2) == list(range(TABLE_SIZE))
+
+    def test_tables_are_distinct(self):
+        assert TABLE_1 != TABLE_2
+
+    def test_tables_are_frozen(self):
+        """Residency must be a pure function of the install sequence:
+        the tables regenerate bit-identically from their pinned seeds."""
+        assert make_table(0x9E3779B1) == TABLE_1
+        assert make_table(0x85EBCA77) == TABLE_2
+
+
+class TestPearsonHash:
+    def test_deterministic(self):
+        assert pearson_hash(b"key-7") == pearson_hash(b"key-7")
+
+    def test_fits_width(self):
+        for width in (1, 4, 8, 11, 12, 16):
+            h = pearson_hash(b"some key", width_bits=width)
+            assert 0 <= h < (1 << width)
+
+    def test_byte_widening_is_not_replication(self):
+        """Wide hashes come from independent per-byte walks, not from
+        repeating the 8-bit hash."""
+        wide = pearson_hash(b"abcdef", width_bits=16)
+        narrow = pearson_hash(b"abcdef", width_bits=8)
+        assert wide != narrow | (narrow << 8)
+
+    def test_single_byte_keys_spread(self):
+        values = {pearson_hash(bytes([b])) for b in range(256)}
+        assert len(values) == 256  # a permutation of one byte
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_hash(b"")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_hash(b"x", width_bits=0)
+
+
+class TestDualHash:
+    def test_slots_in_range(self):
+        for i in range(64):
+            h1, h2 = dual_hash(f"key-{i}".encode(), 4096)
+            assert 0 <= h1 < 4096
+            assert 0 <= h2 < 4096
+
+    def test_two_independent_slots(self):
+        """The two tables give (almost always) different candidates —
+        the point of dual hashing."""
+        differing = sum(
+            1 for i in range(256)
+            if len(set(dual_hash(f"key-{i}".encode(), 4096))) == 2)
+        assert differing > 240
+
+    def test_non_power_of_two_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            dual_hash(b"x", 1000)
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            dual_hash(b"x", 1)

@@ -311,6 +311,7 @@ class TestExitCodes:
         assert exit_code_for(errors.ReproError("x")) == 10
         assert exit_code_for(errors.ClusterError("x")) == 11
         assert exit_code_for(errors.FailoverError("x")) == 12
+        assert exit_code_for(errors.HeteroError("x")) == 13
         # distinctness: no two classes share a code
         assert len(set(EXIT_CODES.values())) == len(EXIT_CODES)
 
@@ -549,3 +550,99 @@ class TestClusterCommand:
         assert cluster["route_hits"] == 0
         assert cluster["moved_redirects"] > 0
         assert cluster["oracle_violations"] == 0
+
+
+class TestHeteroCommand:
+    """--node-types: fleet grammar, exit code 13, hetero telemetry
+    (satellite: PR 10)."""
+
+    def test_hetero_beats_its_cluster_superclass(self):
+        from repro import errors
+        from repro.cli import exit_code_for
+
+        assert issubclass(errors.HeteroError, errors.ClusterError)
+        assert exit_code_for(errors.HeteroError("x")) == 13
+        assert exit_code_for(errors.ClusterError("x")) == 11
+
+    def test_nodes_default_is_unchanged(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.nodes == 3
+        assert args.node_types is None
+
+    def test_node_types_derives_the_node_count(self, capsys):
+        rc = main(["cluster", "--json", "--node-types", "3full+1accel",
+                   "--cores", "2"] + CLUSTER_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        config = RunConfig.from_dict(record["config"])
+        assert config.nodes == 4
+        assert len(record["result"]["cluster"]["per_node"]) == 4
+
+    def test_bad_node_types_exits_13_with_one_line(self, capsys):
+        rc = main(["cluster", "--node-types", "3accel"] + CLUSTER_ARGS)
+        assert rc == 13
+        captured = capsys.readouterr()
+        assert "repro: HeteroError:" in captured.err
+        assert "full" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1
+        assert captured.out == ""
+
+    def test_unknown_class_exits_13(self, capsys):
+        rc = main(["cluster", "--node-types", "2full+1turbo"]
+                  + CLUSTER_ARGS)
+        assert rc == 13
+        assert "turbo" in capsys.readouterr().err
+
+    def test_mixed_fleet_prints_hetero_telemetry(self, capsys):
+        rc = main(["cluster", "--node-types", "2full+1accel",
+                   "--cores", "2", "--frontend", "stlt"] + CLUSTER_ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        for needle in ("fleet mix", "2full+1accel", "accel GETs",
+                       "fallbacks", "cost-normal", "capab. oracle"):
+            assert needle in out, f"hetero output missing {needle!r}"
+        assert "VIOLATIONS" not in out
+
+    def test_homogeneous_output_has_no_hetero_lines(self, capsys):
+        rc = main(["cluster", "--nodes", "3", "--cores", "2"]
+                  + CLUSTER_ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet mix" not in out
+        assert "capab. oracle" not in out
+
+    def test_mixed_fleet_json_carries_hetero_payload(self, capsys):
+        rc = main(["cluster", "--json", "--node-types", "2full+1accel",
+                   "--accel-keys", "1024", "--big-key-fraction", "0.2",
+                   "--cores", "2"] + CLUSTER_ARGS)
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        config = RunConfig.from_dict(record["config"])
+        assert config.node_types == "2full+1accel"
+        assert config.hetero_accel_keys == 1024
+        hetero = record["result"]["cluster"]["hetero"]
+        assert hetero["node_types"] == "2full+1accel"
+        assert hetero["accel_keys"] == 1024
+        assert hetero["big_key_fraction"] == 0.2
+        assert hetero["capability_violations"] == 0
+
+    def test_sweep_list_includes_hetero(self, capsys):
+        rc = main(["sweep", "--list"])
+        assert rc == 0
+        assert "hetero" in capsys.readouterr().out
+
+    def test_hwcost_kv_accel_block(self, capsys):
+        rc = main(["hwcost", "--kv-accel"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total bytes: 837" in out  # Table I untouched
+        assert "kv-accel node" in out
+        assert "Pearson hash tables" in out
+
+    def test_hwcost_default_output_unchanged(self, capsys):
+        rc = main(["hwcost"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total bytes: 837" in out
+        assert "kv-accel" not in out
